@@ -1,0 +1,115 @@
+"""E11 — Section VI future directions, implemented and measured.
+
+The paper closes with proposals; this benchmark treats three of them as
+testable systems:
+
+* **High-level guided RTL debugging** — cross-level comparison against an
+  LLM-written untimed C model localizes RTL bugs better than bare FAIL
+  lines.
+* **Privacy & security** — a rare-trigger hardware trojan slips past
+  directed testbenches but not formal equivalence checking.
+* **Intelligent kernel extraction** — profile-driven kernel detection with
+  transfer-cost-aware accelerator planning.
+"""
+
+from _util import full_eval, print_table
+
+from repro.bench import get_problem
+from repro.flows import detection_sweep, guided_debug
+from repro.hls import extract_kernels
+from repro.llm import SimulatedLLM
+
+SEEDS = tuple(range(8 if full_eval() else 4))
+
+
+def test_e11_guided_debugging(benchmark):
+    problems = [get_problem(p) for p in ("c2_gray", "c2_absdiff", "c3_alu",
+                                         "c2_adder8")]
+
+    def one():
+        return guided_debug(problems[0], SimulatedLLM("gpt-4", seed=0),
+                            seed=0)
+
+    benchmark(one)
+
+    wins = {True: 0, False: 0}
+    iters = {True: 0, False: 0}
+    total = 0
+    # A mid-tier model at high temperature: the regime where debugging help
+    # matters (a top model rarely needs more than the first attempt).
+    for seed in SEEDS:
+        for problem in problems:
+            for use_x in (True, False):
+                r = guided_debug(problem,
+                                 SimulatedLLM("codellama-34b-instruct",
+                                              seed=seed),
+                                 use_crosscheck=use_x, temperature=1.3,
+                                 seed=seed)
+                wins[use_x] += r.success
+                iters[use_x] += r.iterations
+            total += 1
+    print_table(
+        "E11a: high-level guided RTL debugging (Section VI)",
+        ["feedback", "debug success", "mean iterations"],
+        [["cross-level (C model)", f"{wins[True] / total:.0%}",
+          f"{iters[True] / total:.1f}"],
+         ["plain testbench FAIL lines", f"{wins[False] / total:.0%}",
+          f"{iters[False] / total:.1f}"]])
+    assert wins[True] >= wins[False]
+
+
+def test_e11_trojan_detection(benchmark):
+    problems = [get_problem(p) for p in ("c2_adder8", "c2_absdiff", "c3_alu",
+                                         "c1_parity")]
+
+    def sweep():
+        return detection_sweep(problems, seeds=SEEDS, cosim_vectors=64)
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "E11b: hardware-trojan detection (Section VI privacy/security)",
+        ["detector", "catch rate"],
+        [["directed sign-off testbench", f"{rates['testbench']:.0%}"],
+         ["random co-simulation (64 vec)", f"{rates['random_cosim']:.0%}"],
+         ["formal equivalence (CEC)", f"{rates['exhaustive_cec']:.0%}"]])
+    assert rates["exhaustive_cec"] == 1.0
+    assert rates["testbench"] < 1.0   # rare triggers evade directed tests
+
+
+def test_e11_kernel_extraction(benchmark):
+    workload = """
+int hot_mac(int a[8], int b[8]) {
+    int acc = 0;
+    for (int i = 0; i < 8; i++) { acc += a[i] * b[i]; }
+    return acc;
+}
+int tiny(int a[32]) { return a[0] + 1; }
+int main() {
+    int a[8]; int b[8]; int big[32];
+    for (int i = 0; i < 8; i++) { a[i] = i; b[i] = i * 3; }
+    for (int i = 0; i < 32; i++) { big[i] = i; }
+    int total = 0;
+    for (int r = 0; r < 25; r++) { total += hot_mac(a, b); }
+    for (int r = 0; r < 3; r++) { total += tiny(big); }
+    return total;
+}
+"""
+
+    report = benchmark(lambda: extract_kernels(workload, min_share=0.01))
+    from repro.hls import plan_accelerator
+    plans = {p.function: p for p in report.plans}
+    # 'tiny' may fall below the hot-kernel share threshold; plan it
+    # explicitly to show the transfer-cost decision.
+    if "tiny" not in plans:
+        plans["tiny"] = plan_accelerator(workload, "tiny")
+    rows = []
+    for plan in plans.values():
+        rows.append([plan.function, f"{plan.cpu_cycles_per_call:.0f}",
+                     f"{plan.offload_cycles_per_call:.0f}",
+                     f"{plan.speedup_per_call:.1f}x",
+                     "offload" if plan.worthwhile else "keep on CPU"])
+    print_table("E11c: kernel extraction + transfer-aware planning",
+                ["kernel", "CPU cy/call", "offload cy/call", "speedup",
+                 "decision"], rows)
+    assert plans["hot_mac"].worthwhile
+    assert not plans["tiny"].worthwhile  # transfer cost dominates

@@ -1,0 +1,82 @@
+"""E3 — Fig. 3: efficient testing of behavioural discrepancies (HLSTester).
+
+Regenerates: per-kernel discrepancy counts, the redundancy filter's skipped
+simulations, and the LLM-guided vs blind-mutation comparison.
+Expected shape: the filter skips a meaningful fraction of hardware
+simulations without losing discrepancy-detection power; guided input
+generation matches or beats blind mutation.
+"""
+
+from _util import full_eval, print_table
+
+from repro.bench.workloads import TESTER_WORKLOADS
+from repro.hls import HlsTester
+from repro.llm import SimulatedLLM
+
+BUDGET = 200 if full_eval() else 80
+
+
+def _campaign(workload, seed=0, **kw):
+    tester = HlsTester(workload.source, workload.top, workload.width_overrides,
+                       pipeline_hazard=workload.pipeline_hazard,
+                       llm=SimulatedLLM("gpt-4", seed=seed), seed=seed, **kw)
+    return tester.run(budget=BUDGET)
+
+
+def test_e3_discrepancy_campaign(benchmark):
+    target = TESTER_WORKLOADS[0]
+    report = benchmark(lambda: _campaign(target))
+    assert report.candidates_generated == BUDGET
+
+    rows = []
+    for workload in TESTER_WORKLOADS:
+        r = _campaign(workload, seed=3)
+        rows.append([workload.workload_id, len(r.discrepancies),
+                     r.sims_run, r.sims_skipped, f"{r.skip_rate:.0%}",
+                     "yes" if workload.has_discrepancy else "no"])
+    print_table("E3: HLSTester campaign (Fig. 3)",
+                ["kernel", "discrepancies", "sims run", "sims skipped",
+                 "skip rate", "expected?"], rows)
+
+    for workload in TESTER_WORKLOADS:
+        r = _campaign(workload, seed=3)
+        assert bool(r.discrepancies) == workload.has_discrepancy
+
+
+def test_e3_redundancy_filter_value(benchmark):
+    workload = TESTER_WORKLOADS[0]
+
+    def both():
+        filtered = _campaign(workload, seed=5, use_redundancy_filter=True)
+        unfiltered = _campaign(workload, seed=5, use_redundancy_filter=False)
+        return filtered, unfiltered
+
+    filtered, unfiltered = benchmark.pedantic(both, rounds=1, iterations=1)
+    print_table(
+        "E3: redundancy filtering (Fig. 3 stage 5)",
+        ["mode", "sims run", "skipped", "discrepancies"],
+        [["filtered", filtered.sims_run, filtered.sims_skipped,
+          len(filtered.discrepancies)],
+         ["unfiltered", unfiltered.sims_run, unfiltered.sims_skipped,
+          len(unfiltered.discrepancies)]])
+    assert filtered.sims_run < unfiltered.sims_run
+    assert bool(filtered.discrepancies) == bool(unfiltered.discrepancies)
+
+
+def test_e3_llm_guidance(benchmark):
+    workload = next(w for w in TESTER_WORKLOADS
+                    if w.workload_id == "checksum16")
+
+    def both():
+        guided = _campaign(workload, seed=6, use_llm_guidance=True)
+        blind = _campaign(workload, seed=6, use_llm_guidance=False)
+        return guided, blind
+
+    guided, blind = benchmark.pedantic(both, rounds=1, iterations=1)
+    print_table(
+        "E3: test-input generation (Fig. 3 stage 4)",
+        ["mode", "discrepancies", "coverage"],
+        [["LLM-guided + mutation", len(guided.discrepancies),
+          guided.coverage],
+         ["blind mutation", len(blind.discrepancies), blind.coverage]])
+    assert len(guided.discrepancies) >= len(blind.discrepancies)

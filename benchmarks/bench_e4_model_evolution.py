@@ -1,0 +1,80 @@
+"""E4 — Section IV: the evolution of LLMs for hardware design.
+
+Regenerates the historical comparison: DAVE (finetuned GPT-2) solves novice
+problems but collapses on complex/open-ended ones; VeriGen (finetuned
+CodeGen-16B) outperforms ChatGPT-3.5 and approaches GPT-4 on in-distribution
+Verilog at a fraction of the size; conversational models dominate open-ended
+specs.
+"""
+
+from _util import full_eval, print_table
+
+from repro.bench import all_problems, evaluate_model
+from repro.llm import get_model
+
+MODELS = ["dave-gpt2", "verigen-codegen-16b", "chatgpt-3.5", "gpt-4"]
+K = 5 if full_eval() else 3
+SEED = 0
+
+
+def _bucket(problems, lo, hi):
+    return [p for p in problems if lo <= p.complexity <= hi]
+
+
+def test_e4_model_evolution(benchmark):
+    problems = all_problems()
+    novice = _bucket(problems, 1, 2)
+    complex_ = _bucket(problems, 3, 5)
+
+    def eval_one():
+        return evaluate_model("dave-gpt2", novice, k=1, seed=SEED)
+
+    benchmark(eval_one)
+
+    rows = []
+    stats = {}
+    for model in MODELS:
+        novice_suite = evaluate_model(model, novice, k=K, seed=SEED)
+        complex_suite = evaluate_model(model, complex_, k=K, seed=SEED)
+        stats[model] = (novice_suite, complex_suite)
+        profile = get_model(model)
+        rows.append([model, f"{profile.params_b:g}B",
+                     f"{novice_suite.pass_at_k(1):.2f}",
+                     f"{novice_suite.pass_at_k(K):.2f}",
+                     f"{complex_suite.pass_at_k(1):.2f}",
+                     f"{complex_suite.pass_at_k(K):.2f}"])
+    print_table(
+        f"E4: model evolution, pass@1/pass@{K} (Section IV)",
+        ["model", "params", "novice p@1", f"novice p@{K}",
+         "complex p@1", f"complex p@{K}"], rows)
+
+    dave_novice = stats["dave-gpt2"][0].pass_at_k(K)
+    dave_complex = stats["dave-gpt2"][1].pass_at_k(K)
+    verigen_complex = stats["verigen-codegen-16b"][1].pass_at_k(K)
+    gpt35_complex = stats["chatgpt-3.5"][1].pass_at_k(K)
+    gpt4_complex = stats["gpt-4"][1].pass_at_k(K)
+
+    # DAVE: "very successful at ... simple problems, but significantly
+    # struggled with more complex designs".
+    assert dave_novice >= 0.5
+    assert dave_complex < dave_novice
+    # VeriGen "outperformed ChatGPT-3.5 and performed similarly well to
+    # GPT-4 at a fraction of the model size".
+    assert verigen_complex >= gpt35_complex
+    assert abs(verigen_complex - gpt4_complex) <= 0.35
+    assert get_model("verigen-codegen-16b").params_b \
+        < get_model("gpt-4").params_b / 10
+
+
+def test_e4_open_ended_needs_conversational(benchmark):
+    problems = [p for p in all_problems() if p.open_ended]
+
+    def eval_open():
+        return {model: evaluate_model(model, problems, k=K, seed=SEED)
+                for model in ("dave-gpt2", "gpt-4")}
+
+    suites = benchmark.pedantic(eval_open, rounds=1, iterations=1)
+    rows = [[m, f"{s.pass_at_k(K):.2f}"] for m, s in suites.items()]
+    print_table("E4: open-ended specs (Chip-Chat regime)",
+                ["model", f"pass@{K}"], rows)
+    assert suites["gpt-4"].pass_at_k(K) >= suites["dave-gpt2"].pass_at_k(K)

@@ -1,0 +1,77 @@
+"""E6 — Fig. 4: AutoChip tree search, feedback vs candidate sampling.
+
+Regenerates the paper's AutoChip finding: across four commercial-model
+profiles, at a matched generation budget, only the most capable model
+(GPT-4o) benefits significantly more from feedback iterations (depth) than
+from sampling more candidates (breadth) — weaker models cannot exploit EDA
+tool error messages.
+"""
+
+from _util import full_eval, print_table
+
+from repro.bench import problems_by
+from repro.flows import compare_budgets, run_autochip
+from repro.llm import AUTOCHIP_EVAL_MODELS
+
+BUDGET = 5
+SEEDS = tuple(range(6 if full_eval() else 3))
+# High-temperature candidate sampling on the hardest problems: the regime
+# where breadth-vs-depth separates the models (every sample carries faults,
+# so winning requires either many lottery tickets or real feedback use).
+TEMPERATURE = 1.3
+
+
+def _problem_set():
+    return problems_by(complexity=4) + problems_by(complexity=5)
+
+
+def test_e6_autochip_tree_search(benchmark):
+    problems = _problem_set()
+
+    def run_once():
+        return run_autochip(problems[0], model="gpt-4o", k=3, depth=2, seed=0)
+
+    result = benchmark(run_once)
+    assert result.generations <= 6
+
+    rows = []
+    gains = {}
+    for model in AUTOCHIP_EVAL_MODELS:
+        comparison = compare_budgets(model, problems, budget=BUDGET,
+                                     seeds=SEEDS, temperature=TEMPERATURE)
+        gains[model] = comparison.feedback_gain
+        rows.append([model, f"{comparison.breadth_success:.2f}",
+                     f"{comparison.depth_success:.2f}",
+                     f"{comparison.feedback_gain:+.2f}"])
+    print_table(
+        f"E6: AutoChip breadth (k={BUDGET}, d=1) vs depth (k=1, d={BUDGET})",
+        ["model", "breadth", "depth (feedback)", "feedback gain"], rows)
+
+    # Paper shape: the top model extracts the largest gain from feedback.
+    top_gain = gains["gpt-4o"]
+    others = [gains[m] for m in AUTOCHIP_EVAL_MODELS if m != "gpt-4o"]
+    assert top_gain >= max(others) - 1e-9
+    assert top_gain >= 0.0
+
+
+def test_e6_depth_sweep_gpt4o(benchmark):
+    problems = _problem_set()[:3]
+
+    def sweep():
+        out = {}
+        for depth in (1, 2, 4):
+            wins = 0
+            for seed in SEEDS:
+                for problem in problems:
+                    r = run_autochip(problem, model="gpt-4o", k=2,
+                                     depth=depth, seed=seed,
+                                     temperature=TEMPERATURE)
+                    wins += r.success
+            out[depth] = wins / (len(SEEDS) * len(problems))
+        return out
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table("E6: success vs tree depth (gpt-4o, k=2)",
+                ["depth d", "success rate"],
+                [[d, f"{r:.2f}"] for d, r in rates.items()])
+    assert rates[4] >= rates[1]

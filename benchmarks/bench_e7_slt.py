@@ -1,0 +1,77 @@
+"""E7 — Section V / Fig. 5: LLM-based SLT generation vs genetic programming.
+
+Regenerates the paper's headline numbers:
+
+* LLM loop, 24 h of rig time → ~2021 snippets, best ≈ 5.042 W;
+* GP, 39 h → best ≈ 5.682 W (Δ ≈ 0.640 W, ~12.7%);
+* the LLM plateaus well before its budget ends, GP keeps improving —
+  the stated reason the GP run was allowed to go longer.
+
+The full budget needs REPRO_FULL_EVAL=1; the default runs a proportionally
+scaled version with identical mechanics (same rig, same loops).
+"""
+
+from _util import full_eval, print_table
+
+from repro.slt import run_gp_slt, run_llm_slt
+
+LLM_HOURS = 24.0 if full_eval() else 1.2
+GP_HOURS = 39.0 if full_eval() else 1.95
+SEED = 7
+
+
+def test_e7_llm_vs_gp(benchmark):
+    def llm_run():
+        return run_llm_slt(model="codellama-34b-instruct-ft",
+                           hours=LLM_HOURS, seed=SEED)
+
+    llm = benchmark.pedantic(llm_run, rounds=1, iterations=1)
+    gp = run_gp_slt(hours=GP_HOURS, seed=SEED)
+
+    print_table(
+        "E7: SLT power maximization (Section V; paper: LLM 5.042 W in 24 h "
+        "/ 2021 snippets, GP 5.682 W in 39 h)",
+        ["method", "hours", "snippets", "best power (W)"],
+        [["LLM loop (SCoT + temp adapt)", f"{llm.elapsed_hours:.1f}",
+          llm.snippets_generated, f"{llm.best_power_w:.3f}"],
+         ["genetic programming", f"{gp.elapsed_hours:.1f}",
+          gp.snippets_generated, f"{gp.best_power_w:.3f}"],
+         ["difference", "", "", f"{gp.best_power_w - llm.best_power_w:.3f}"]])
+
+    # Shape: GP with the longer budget beats the LLM loop.
+    assert gp.best_power_w > llm.best_power_w
+    # Both land in the BOOM-on-FPGA power band.
+    assert 4.0 < llm.best_power_w < 7.0
+    assert 4.0 < gp.best_power_w < 7.5
+    # Snippet throughput tracks the rig-time model (~2021 per 24 h).
+    expected = LLM_HOURS * 3600 / 42.75
+    assert abs(llm.snippets_generated - expected) / expected < 0.15
+
+
+def test_e7_llm_plateau_vs_gp_progress(benchmark):
+    def runs():
+        llm = run_llm_slt(model="codellama-34b-instruct-ft",
+                          hours=LLM_HOURS, seed=SEED + 1)
+        gp = run_gp_slt(hours=LLM_HOURS, seed=SEED + 1)
+        return llm, gp
+
+    llm, gp = benchmark.pedantic(runs, rounds=1, iterations=1)
+
+    def best_at_fraction(result, fraction):
+        events = result.events
+        cutoff = max(1, int(len(events) * fraction))
+        return events[cutoff - 1].best_w
+
+    rows = []
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        rows.append([f"{frac:.0%}",
+                     f"{best_at_fraction(llm, frac):.3f}",
+                     f"{best_at_fraction(gp, frac):.3f}"])
+    print_table("E7: best-so-far vs budget fraction (plateau analysis)",
+                ["budget used", "LLM best (W)", "GP best (W)"], rows)
+
+    # Paper: "for the LLM-based approach, significant changes rarely, if at
+    # all, happen" late in the run — ≥95% of its final quality is reached by
+    # half budget.
+    llm_half = best_at_fraction(llm, 0.5)
+    assert llm_half >= llm.best_power_w * 0.95

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Chip-Chat style conversational co-design (Section IV): an 'experienced
+designer' steers a conversational model through a small tapeout of blocks,
+with EDA tool output injected into the dialogue.
+
+Run:  python examples/chipchat_session.py
+"""
+
+from repro.bench import get_problem
+from repro.flows import ChipChatSession
+from repro.llm import SimulatedLLM
+
+BLOCKS = ["c5_accumulator_cpu", "c3_alu", "c2_shiftreg"]
+
+
+def main() -> None:
+    llm = SimulatedLLM("gpt-4", seed=11)
+    session = ChipChatSession(llm, max_model_turns=8)
+
+    shipped = 0
+    for block in BLOCKS:
+        problem = get_problem(block)
+        print(f"### designing '{problem.name}' ({problem.problem_id})")
+        result = session.run(problem)
+        for turn in result.transcript:
+            text = turn.content.replace("\n", " ")[:96]
+            print(f"  [{turn.role:8s}] {text}")
+        print(f"  => {result.summary()}\n")
+        shipped += result.success
+
+    print(f"tapeout: {shipped}/{len(BLOCKS)} blocks shipped; "
+          f"{llm.usage.total_tokens} tokens used across the session")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""The unified multi-modal EDA agent (Fig. 6): one object takes a natural-
+language spec through specification review, RTL generation with tool
+feedback, lint, verification, logic synthesis and closed-loop QoR tuning —
+and carries every modality in a single DesignState.
+
+Run:  python examples/eda_agent_flow.py
+"""
+
+from repro.bench import get_problem
+from repro.core import AgentConfig, EdaAgent, agent_report_text
+
+DESIGNS = ["c2_counter", "c3_priority", "c5_crypto_round"]
+
+
+def main() -> None:
+    agent = EdaAgent(AgentConfig(model="gpt-4o", enable_feedback=True),
+                     seed=3)
+    for design in DESIGNS:
+        problem = get_problem(design)
+        report = agent.run(problem)
+        print(agent_report_text(report))
+        print()
+
+    # The ablation the paper motivates: what does the closed loop buy?
+    from repro.core import run_agent_sweep
+    problems = [get_problem(d) for d in DESIGNS]
+    with_loop = run_agent_sweep(problems, model="gpt-4", seeds=(0, 1))
+    without = run_agent_sweep(problems, model="gpt-4", seeds=(0, 1),
+                              enable_feedback=False)
+    print(f"cross-stage feedback ON : {with_loop.end_to_end_rate:.0%} "
+          f"end-to-end")
+    print(f"cross-stage feedback OFF: {without.end_to_end_rate:.0%} "
+          f"end-to-end")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""HLS program repair (Fig. 2): take a C kernel full of HLS-incompatible
+constructs, run the four-stage LLM repair loop, and show each stage's work.
+
+Run:  python examples/hls_repair_demo.py
+"""
+
+from repro.hls import HlsRepairEngine, check_compatibility, cparse
+from repro.llm import SimulatedLLM
+
+BROKEN_KERNEL = """
+#include <stdlib.h>
+#include <stdio.h>
+
+int moving_sum(int n) {
+    int *window = malloc(16 * sizeof(int));
+    for (int i = 0; i < 16; i++) {
+        window[i] = i * n + 1;
+    }
+    int acc = 0;
+    int i = 0;
+    while (i < 16) {
+        acc += window[i];
+        printf("acc now %d\\n", acc);
+        i++;
+    }
+    free(window);
+    return acc;
+}
+"""
+
+
+def main() -> None:
+    # Stage 0: what would the HLS compiler say today?
+    report = check_compatibility(cparse(BROKEN_KERNEL), "moving_sum")
+    print(report.error_log())
+    print(f"(+{len(report.latent)} latent issue(s) the compiler misses)\n")
+
+    # Stages 1-4: preprocessing -> RAG repair -> equivalence -> PPA.
+    engine = HlsRepairEngine(SimulatedLLM("gpt-4", seed=1), use_rag=True,
+                             seed=1)
+    result = engine.repair(BROKEN_KERNEL, "moving_sum")
+
+    print(result.report(), "\n")
+    print("stage log:")
+    for entry in result.log:
+        print(f"  [{entry.stage:10s}] {entry.detail}")
+
+    print("\n--- repaired HLS-C " + "-" * 39)
+    print(result.repaired_source)
+
+
+if __name__ == "__main__":
+    main()

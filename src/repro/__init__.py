@@ -1,0 +1,37 @@
+"""LLM4EDA — reproduction of "Large Language Models for Electronic Design
+Automation" (SOCC 2025 special session).
+
+Subpackages
+-----------
+``repro.llm``
+    Simulated large-language-model substrate with per-model capability
+    profiles, prompting strategies (CoT/SCoT/hierarchical) and RAG retrieval.
+``repro.hdl``
+    Mini-Verilog toolchain: parser, elaborator, event-driven simulator,
+    testbench harness, linter.
+``repro.synth``
+    Logic synthesis to AND-inverter graphs with optimization, tech mapping
+    and PPA estimation.
+``repro.hls``
+    Mini-C frontend, HLS compatibility checking, C-to-RTL synthesis, the
+    LLM program-repair loop (Fig. 2) and HLSTester (Fig. 3).
+``repro.riscv``
+    RV32IM assembler, mini-C compiler, out-of-order superscalar core timing
+    model and activity-based power model (the BOOM/FPGA substitute).
+``repro.slt``
+    System-level test program generation: the LLM optimization loop of
+    Fig. 5 plus the genetic-programming baseline.
+``repro.flows``
+    LLM design frameworks from the survey: Chip-Chat, the structured
+    feedback flow, AutoChip tree search (Fig. 4), hierarchical prompting,
+    AutoBench/CorrectBench, AssertLLM, VRank.
+``repro.core``
+    The unified multi-modal EDA agent of Fig. 6.
+``repro.bench``
+    VerilogEval-style problem suites, workload generators and pass@k
+    harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

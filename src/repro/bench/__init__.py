@@ -1,0 +1,18 @@
+"""``repro.bench`` — benchmark problem suites, workloads and pass@k harness.
+
+Stands in for VerilogEval/RTLLM: specs + golden references + quality
+testbenches, plus the C workload sets the HLS experiments run on.
+"""
+
+from .harness import (ProblemEval, SampleOutcome, SuiteEval,
+                      evaluate_candidate, evaluate_model, make_task)
+from .problems import Problem, all_problems, get_problem, problems_by
+from .workloads import (REPAIR_WORKLOADS, RepairWorkload, TESTER_WORKLOADS,
+                        TesterWorkload, repair_workload, tester_workload)
+
+__all__ = [
+    "Problem", "ProblemEval", "REPAIR_WORKLOADS", "RepairWorkload",
+    "SampleOutcome", "SuiteEval", "TESTER_WORKLOADS", "TesterWorkload",
+    "all_problems", "evaluate_candidate", "evaluate_model", "get_problem",
+    "make_task", "problems_by", "repair_workload", "tester_workload",
+]

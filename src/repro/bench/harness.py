@@ -1,0 +1,116 @@
+"""Evaluation harness: pass@k over the problem suite.
+
+Implements the VerilogEval-style protocol the paper's Section IV models are
+compared under: sample k candidates per problem, score each against the
+problem's quality testbench, and report pass@k / pass-fraction statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl import run_testbench
+from ..hdl.testbench import TestbenchResult
+from ..llm.model import Generation, GenerationTask, SimulatedLLM
+from ..llm.prompts import Prompt, PromptStrategy
+from .problems import Problem
+
+
+def make_task(problem: Problem) -> GenerationTask:
+    """Wrap a benchmark problem as a generation task."""
+    return GenerationTask(
+        task_id=problem.problem_id,
+        spec=problem.spec,
+        reference_source=problem.reference,
+        complexity=problem.complexity,
+        language="verilog",
+        open_ended=problem.open_ended,
+    )
+
+
+def evaluate_candidate(problem: Problem, candidate_source: str,
+                       max_time: int = 200_000) -> TestbenchResult:
+    """Score one candidate design against the problem's testbench."""
+    return run_testbench(candidate_source + "\n" + problem.testbench,
+                         problem.tb_name, max_time=max_time)
+
+
+@dataclass
+class SampleOutcome:
+    generation: Generation
+    result: TestbenchResult
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+    @property
+    def score(self) -> float:
+        return self.result.score
+
+
+@dataclass
+class ProblemEval:
+    problem_id: str
+    samples: list[SampleOutcome] = field(default_factory=list)
+
+    @property
+    def pass_at_1(self) -> float:
+        if not self.samples:
+            return 0.0
+        return 1.0 if self.samples[0].passed else 0.0
+
+    def pass_at_k(self, k: int) -> float:
+        subset = self.samples[:k]
+        return 1.0 if any(s.passed for s in subset) else 0.0
+
+    @property
+    def best_score(self) -> float:
+        return max((s.score for s in self.samples), default=0.0)
+
+
+@dataclass
+class SuiteEval:
+    model: str
+    strategy: PromptStrategy
+    problems: list[ProblemEval] = field(default_factory=list)
+
+    def pass_at_k(self, k: int) -> float:
+        if not self.problems:
+            return 0.0
+        return sum(p.pass_at_k(k) for p in self.problems) / len(self.problems)
+
+    @property
+    def mean_best_score(self) -> float:
+        if not self.problems:
+            return 0.0
+        return sum(p.best_score for p in self.problems) / len(self.problems)
+
+    def by_complexity(self, k: int = 1) -> dict[int, float]:
+        from .problems import get_problem
+        buckets: dict[int, list[float]] = {}
+        for pe in self.problems:
+            c = get_problem(pe.problem_id).complexity
+            buckets.setdefault(c, []).append(pe.pass_at_k(k))
+        return {c: sum(v) / len(v) for c, v in sorted(buckets.items())}
+
+
+def evaluate_model(model: str | SimulatedLLM, problems: list[Problem],
+                   k: int = 1, temperature: float = 0.7,
+                   strategy: PromptStrategy = PromptStrategy.DIRECT,
+                   seed: int = 0) -> SuiteEval:
+    """Sample ``k`` candidates per problem and score them all."""
+    llm = model if isinstance(model, SimulatedLLM) else SimulatedLLM(model,
+                                                                     seed=seed)
+    suite = SuiteEval(model=llm.profile.name, strategy=strategy)
+    for problem in problems:
+        task = make_task(problem)
+        prompt = Prompt(spec=problem.spec, strategy=strategy)
+        pe = ProblemEval(problem.problem_id)
+        for i in range(k):
+            generation = llm.generate(task, prompt, temperature,
+                                      sample_index=i)
+            result = evaluate_candidate(problem, generation.text)
+            pe.samples.append(SampleOutcome(generation, result))
+        suite.problems.append(pe)
+    return suite

@@ -1,0 +1,242 @@
+"""C workloads for the HLS experiments.
+
+Two families:
+
+* :data:`REPAIR_WORKLOADS` — programs with deliberate HLS incompatibilities
+  (dynamic memory, unbounded loops, I/O, recursion...) for the Fig. 2 repair
+  loop (experiment E2);
+* :data:`TESTER_WORKLOADS` — HLS-compatible kernels whose FPGA deployment
+  uses custom bit widths and/or pipelining, for the Fig. 3 discrepancy
+  tester (experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RepairWorkload:
+    workload_id: str
+    description: str
+    source: str
+    top: str
+    expected_issue_codes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TesterWorkload:
+    workload_id: str
+    description: str
+    source: str
+    top: str
+    width_overrides: dict[str, int] = field(default_factory=dict)
+    pipeline_hazard: bool = False
+    has_discrepancy: bool = True
+
+
+REPAIR_WORKLOADS: tuple[RepairWorkload, ...] = (
+    RepairWorkload(
+        "malloc_sum", "heap buffer accumulation",
+        """
+int kernel(int n) {
+    int *buf = malloc(32 * sizeof(int));
+    for (int i = 0; i < 32; i++) {
+        buf[i] = i * n + 3;
+    }
+    int acc = 0;
+    for (int i = 0; i < 32; i++) {
+        acc += buf[i];
+    }
+    free(buf);
+    return acc;
+}
+""",
+        "kernel", ("HLS001",)),
+    RepairWorkload(
+        "debug_prints", "kernel with debug printf",
+        """
+int kernel(int a, int b) {
+    int acc = 0;
+    for (int i = 0; i < 16; i++) {
+        acc += a * i + b;
+        printf("step %d acc=%d\\n", i, acc);
+    }
+    return acc;
+}
+""",
+        "kernel", ("HLS005",)),
+    RepairWorkload(
+        "while_search", "unbounded convergence loop",
+        """
+int kernel(int x) {
+    int v = x;
+    while (v > 1) {
+        if ((v & 1) == 0) { v = v / 2; }
+        else { v = v + 1; }
+    }
+    return v;
+}
+""",
+        "kernel", ("HLS003",)),
+    RepairWorkload(
+        "tail_recursion", "tail-recursive gcd-style kernel",
+        """
+int kernel(int a, int b) {
+    if (b == 0) { return a; }
+    int r = a % b;
+    return kernel(b, r);
+}
+""",
+        "kernel", ("HLS002", "HLS009")),
+    RepairWorkload(
+        "unsized_pointer", "pointer parameter without bound",
+        """
+int kernel(int *data, int n) {
+    int acc = 0;
+    for (int i = 0; i < 16; i++) {
+        acc += data[i] * n;
+    }
+    return acc;
+}
+""",
+        "kernel", ("HLS004",)),
+    RepairWorkload(
+        "mixed_everything", "malloc + printf + while together",
+        """
+int kernel(int n) {
+    int *tmp = malloc(16 * sizeof(int));
+    int i = 0;
+    while (i < 16) {
+        tmp[i] = i * n;
+        i++;
+    }
+    int best = 0;
+    for (int j = 0; j < 16; j++) {
+        if (tmp[j] > best) { best = tmp[j]; }
+    }
+    printf("best=%d\\n", best);
+    free(tmp);
+    return best;
+}
+""",
+        "kernel", ("HLS001", "HLS003", "HLS005")),
+    RepairWorkload(
+        "runtime_div", "division by runtime value",
+        """
+int kernel(int a, int b) {
+    int acc = 0;
+    for (int i = 1; i < 12; i++) {
+        acc += a / (b + i);
+    }
+    return acc;
+}
+""",
+        "kernel", ("HLS009",)),
+    RepairWorkload(
+        "clean_already", "already HLS-compatible kernel",
+        """
+int kernel(int a[16], int scale) {
+    int acc = 0;
+    for (int i = 0; i < 16; i++) {
+        acc += a[i] * scale;
+    }
+    return acc;
+}
+""",
+        "kernel", ()),
+)
+
+
+TESTER_WORKLOADS: tuple[TesterWorkload, ...] = (
+    TesterWorkload(
+        "mac_overflow", "multiply-accumulate with a narrowed accumulator",
+        """
+int mac(int a[8], int b[8]) {
+    int acc = 0;
+    for (int i = 0; i < 8; i++) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+""",
+        "mac", width_overrides={"acc": 16}),
+    TesterWorkload(
+        "scaled_sum", "scaling sum with a narrowed intermediate",
+        """
+int scaled_sum(int x[16], int k) {
+    int total = 0;
+    for (int i = 0; i < 16; i++) {
+        int term = x[i] * k;
+        total += term;
+    }
+    return total;
+}
+""",
+        "scaled_sum", width_overrides={"term": 12}),
+    TesterWorkload(
+        "pipelined_acc", "pipelined accumulation with a feedback dependency",
+        """
+int pacc(int d[16]) {
+    int acc = 1;
+    for (int i = 0; i < 16; i++) {
+    #pragma HLS pipeline II=1
+        acc = acc * 3 + d[i];
+    }
+    return acc;
+}
+""",
+        "pacc", pipeline_hazard=True),
+    TesterWorkload(
+        "max_window", "windowed maximum — no width hazard (control kernel)",
+        """
+int wmax(int d[16]) {
+    int best = 0;
+    for (int i = 0; i < 16; i++) {
+        if (d[i] > best) { best = d[i]; }
+    }
+    return best;
+}
+""",
+        "wmax", has_discrepancy=False),
+    TesterWorkload(
+        "checksum16", "checksum folded to 16 bits",
+        """
+int checksum(int d[32]) {
+    int sum = 0;
+    for (int i = 0; i < 32; i++) {
+        sum += d[i] * 31 + (d[i] ^ 77);
+    }
+    return sum;
+}
+""",
+        "checksum", width_overrides={"sum": 16}),
+    TesterWorkload(
+        "sat_filter", "saturating filter with narrow taps",
+        """
+int filter(int x[8]) {
+    int acc = 0;
+    for (int i = 0; i < 8; i++) {
+        int tap = x[i] * 19 + 5;
+        if (tap > 4000) { tap = 4000; }
+        acc += tap;
+    }
+    return acc;
+}
+""",
+        "filter", width_overrides={"tap": 11}),
+)
+
+
+def repair_workload(workload_id: str) -> RepairWorkload:
+    for w in REPAIR_WORKLOADS:
+        if w.workload_id == workload_id:
+            return w
+    raise KeyError(workload_id)
+
+
+def tester_workload(workload_id: str) -> TesterWorkload:
+    for w in TESTER_WORKLOADS:
+        if w.workload_id == workload_id:
+            return w
+    raise KeyError(workload_id)

@@ -1,0 +1,23 @@
+"""``repro.core`` — the unified multi-modal LLM-EDA agent of Fig. 6.
+
+Orchestrates specification review, RTL generation with tool feedback,
+static analysis, verification, logic synthesis, and closed-loop QoR
+refinement over one shared multi-modal design state.
+"""
+
+from .agent import (AgentConfig, AgentRunReport, AgentSweep, EdaAgent,
+                    run_agent_sweep)
+from .report import agent_report_text, format_table, sweep_report_text
+from .stages import (DEFAULT_PIPELINE, QorStage, RtlGenerationStage,
+                     SpecificationStage, Stage, StageContext,
+                     StaticAnalysisStage, SynthesisStage, VerificationStage)
+from .state import DesignState, StageRecord
+
+__all__ = [
+    "AgentConfig", "AgentRunReport", "AgentSweep", "DEFAULT_PIPELINE",
+    "DesignState", "EdaAgent", "QorStage", "RtlGenerationStage",
+    "SpecificationStage", "Stage", "StageContext", "StageRecord",
+    "StaticAnalysisStage", "SynthesisStage", "VerificationStage",
+    "agent_report_text", "format_table", "run_agent_sweep",
+    "sweep_report_text",
+]

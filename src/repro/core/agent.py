@@ -1,0 +1,128 @@
+"""The unified LLM-EDA agent (Fig. 6).
+
+Orchestrates the stage pipeline over the multi-modal design state, with
+cross-stage feedback: a downstream failure can re-open an upstream stage
+(verification failure → regenerate RTL with the accumulated feedback), and
+QoR estimation closes the loop on synthesis-script choice.  The ablation
+knob ``enable_feedback`` is experiment E9's subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bench.problems import Problem
+from ..llm.model import SimulatedLLM
+from .stages import DEFAULT_PIPELINE, Stage, StageContext
+from .state import DesignState
+
+
+@dataclass
+class AgentConfig:
+    model: str = "gpt-4o"
+    enable_feedback: bool = True
+    max_reopens: int = 2        # upstream re-entries on downstream failure
+    autochip_k: int = 3
+    autochip_depth: int = 3
+
+
+@dataclass
+class AgentRunReport:
+    problem_id: str
+    model: str
+    state: DesignState
+    success: bool
+    reopens: int
+    total_tokens: int
+
+    def stage_table(self) -> list[tuple[str, bool, str]]:
+        return [(r.stage, r.success, r.detail) for r in self.state.history]
+
+    def summary(self) -> str:
+        status = "COMPLETE" if self.success else "INCOMPLETE"
+        stages = ", ".join(f"{r.stage}:{'ok' if r.success else 'FAIL'}"
+                           for r in self.state.history)
+        return f"{self.problem_id} [{self.model}] {status} | {stages}"
+
+
+class EdaAgent:
+    """Runs a design through the full spec-to-QoR pipeline."""
+
+    def __init__(self, config: AgentConfig | None = None, seed: int = 0,
+                 pipeline: tuple[Stage, ...] = DEFAULT_PIPELINE):
+        self.config = config or AgentConfig()
+        self.seed = seed
+        self.pipeline = pipeline
+
+    def run(self, problem: Problem) -> AgentRunReport:
+        cfg = self.config
+        llm = SimulatedLLM(cfg.model, seed=self.seed)
+        ctx = StageContext(llm=llm, problem=problem, seed=self.seed,
+                           enable_feedback=cfg.enable_feedback,
+                           autochip_k=cfg.autochip_k,
+                           autochip_depth=cfg.autochip_depth)
+        state = DesignState(spec=problem.spec)
+        reopens = 0
+
+        index = 0
+        while index < len(self.pipeline):
+            stage = self.pipeline[index]
+            ok = stage.run(state, ctx)
+            if ok:
+                index += 1
+                continue
+            # Cross-stage feedback: a verification or static-analysis failure
+            # re-opens RTL generation with a fresh seed (the accumulated
+            # design state keeps the evidence).
+            if (cfg.enable_feedback and reopens < cfg.max_reopens
+                    and stage.name in ("static_analysis", "verification")):
+                reopens += 1
+                ctx.seed += 1000
+                ctx.llm = SimulatedLLM(cfg.model, seed=ctx.seed)
+                index = next(i for i, s in enumerate(self.pipeline)
+                             if s.name == "rtl_generation")
+                continue
+            # Hard failure: record remaining stages as skipped and stop.
+            break
+
+        success = (index >= len(self.pipeline)
+                   and all(r.stage != "verification" or r.success
+                           for r in state.history[-len(self.pipeline):]))
+        return AgentRunReport(problem.problem_id, cfg.model, state,
+                              success and state.verified, reopens,
+                              llm.usage.total_tokens)
+
+
+@dataclass
+class AgentSweep:
+    reports: list[AgentRunReport] = field(default_factory=list)
+
+    @property
+    def end_to_end_rate(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.success for r in self.reports) / len(self.reports)
+
+    def stage_success_rates(self) -> dict[str, float]:
+        counts: dict[str, list[int]] = {}
+        for report in self.reports:
+            seen: dict[str, bool] = {}
+            for record in report.state.history:
+                # Last attempt of each stage wins.
+                seen[record.stage] = record.success
+            for stage, ok in seen.items():
+                counts.setdefault(stage, []).append(int(ok))
+        return {stage: sum(v) / len(v) for stage, v in sorted(counts.items())}
+
+
+def run_agent_sweep(problems: list[Problem], model: str = "gpt-4o",
+                    enable_feedback: bool = True,
+                    seeds: tuple[int, ...] = (0, 1)) -> AgentSweep:
+    sweep = AgentSweep()
+    for seed in seeds:
+        agent = EdaAgent(AgentConfig(model=model,
+                                     enable_feedback=enable_feedback),
+                         seed=seed)
+        for problem in problems:
+            sweep.reports.append(agent.run(problem))
+    return sweep

@@ -1,0 +1,43 @@
+"""Human-readable reporting for agent runs and experiment tables."""
+
+from __future__ import annotations
+
+from .agent import AgentRunReport, AgentSweep
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Plain-text table used by the benchmark harness output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def agent_report_text(report: AgentRunReport) -> str:
+    lines = [report.summary(), ""]
+    lines.append(format_table(
+        ["stage", "ok", "detail"],
+        [[stage, "yes" if ok else "NO", detail[:90]]
+         for stage, ok, detail in report.stage_table()]))
+    state = report.state
+    lines.append("")
+    lines.append(f"modalities: {', '.join(state.modalities_present())}")
+    if state.ppa is not None:
+        lines.append(f"QoR: {state.ppa.summary()}")
+    return "\n".join(lines)
+
+
+def sweep_report_text(sweep: AgentSweep) -> str:
+    lines = [f"end-to-end success: {sweep.end_to_end_rate:.0%} "
+             f"over {len(sweep.reports)} runs", ""]
+    rates = sweep.stage_success_rates()
+    lines.append(format_table(
+        ["stage", "success rate"],
+        [[stage, f"{rate:.0%}"] for stage, rate in rates.items()]))
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Pipeline stages of the unified EDA agent (Fig. 1 / Fig. 6).
+
+Each stage consumes and enriches the shared :class:`DesignState`.  Stages
+deliberately map one-to-one onto the chip design flow of Fig. 1:
+specification → RTL generation → static analysis → verification →
+logic synthesis → QoR estimation, with the LLM assisting where the paper
+places it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bench.harness import evaluate_candidate
+from ..bench.problems import Problem
+from ..flows.assertgen import assertion_quality
+from ..flows.autochip import AutoChip, AutoChipConfig
+from ..hdl import lint_source, parse
+from ..llm.model import SimulatedLLM
+from ..synth import estimate_ppa, optimize, synthesize_module
+from ..synth.optimize import DEFAULT_SCRIPT
+from .state import DesignState
+
+
+class StageError(Exception):
+    pass
+
+
+@dataclass
+class StageContext:
+    llm: SimulatedLLM
+    problem: Problem
+    seed: int = 0
+    enable_feedback: bool = True     # cross-stage feedback (the ablation knob)
+    autochip_k: int = 3
+    autochip_depth: int = 3
+
+
+class Stage:
+    """Base class; subclasses set ``name`` and implement ``run``."""
+
+    name = "stage"
+
+    def run(self, state: DesignState, ctx: StageContext) -> bool:
+        raise NotImplementedError
+
+
+class SpecificationStage(Stage):
+    """SpecLLM-style spec review: normalize and enrich the specification."""
+
+    name = "specification"
+
+    def run(self, state: DesignState, ctx: StageContext) -> bool:
+        profile = ctx.llm.profile
+        clarity = profile.spec_comprehension
+        notes = [state.spec.strip()]
+        if clarity > 0.5:
+            notes.append(f"[interface] implement module "
+                         f"'{ctx.problem.module_name}' exactly as named.")
+        if clarity > 0.7 and ctx.problem.sequential:
+            notes.append("[timing] state updates on the rising clock edge; "
+                         "reset is synchronous unless stated otherwise.")
+        state.enriched_spec = "\n".join(notes)
+        state.record(self.name, True,
+                     f"spec enriched ({len(notes) - 1} review notes)")
+        return True
+
+
+class RtlGenerationStage(Stage):
+    """LLM RTL generation with tool feedback (AutoChip inside the agent)."""
+
+    name = "rtl_generation"
+
+    def run(self, state: DesignState, ctx: StageContext) -> bool:
+        depth = ctx.autochip_depth if ctx.enable_feedback else 1
+        chip = AutoChip(ctx.llm, AutoChipConfig(k=ctx.autochip_k, depth=depth))
+        outcome = chip.run(ctx.problem)
+        state.rtl_source = outcome.best_source
+        state.module_name = ctx.problem.module_name
+        state.record(self.name, outcome.success,
+                     outcome.summary(), score=outcome.best_score,
+                     generations=outcome.generations)
+        return outcome.success
+
+
+class StaticAnalysisStage(Stage):
+    """Lint the RTL; warnings feed the next refinement when feedback is on."""
+
+    name = "static_analysis"
+
+    def run(self, state: DesignState, ctx: StageContext) -> bool:
+        if not state.rtl_source:
+            state.record(self.name, False, "no RTL to lint")
+            return False
+        try:
+            source = parse(state.rtl_source)
+        except Exception as exc:
+            state.record(self.name, False, f"parse failed: {exc}")
+            return False
+        warnings = [str(w) for w in lint_source(source)]
+        state.lint_warnings = warnings
+        blocking = [w for w in warnings if "LINT-UNDECL" in w
+                    or "LINT-MULTIDRIVE" in w]
+        state.record(self.name, not blocking,
+                     f"{len(warnings)} warnings ({len(blocking)} blocking)")
+        return not blocking
+
+
+class VerificationStage(Stage):
+    """Golden-testbench sign-off plus AssertLLM-style property mining."""
+
+    name = "verification"
+
+    def run(self, state: DesignState, ctx: StageContext) -> bool:
+        tb = evaluate_candidate(ctx.problem, state.rtl_source)
+        assertions = assertion_quality(ctx.problem, ctx.llm, seed=ctx.seed,
+                                       n_assertions=6, n_mutants=3)
+        state.verified = tb.passed
+        state.assertions_valid = assertions.refined
+        state.verification_detail = (f"testbench {tb.pass_count}/"
+                                     f"{tb.total_checks} checks; "
+                                     f"{assertions.refined} assertions kept")
+        state.record(self.name, tb.passed, state.verification_detail)
+        return tb.passed
+
+
+class SynthesisStage(Stage):
+    """Logic synthesis to an optimized AIG netlist."""
+
+    name = "synthesis"
+
+    def run(self, state: DesignState, ctx: StageContext) -> bool:
+        from ..synth import synthesize_source
+        try:
+            synthesized = synthesize_source(state.rtl_source,
+                                            state.module_name)
+        except Exception as exc:
+            state.record(self.name, False, f"synthesis failed: {exc}")
+            return False
+        optimized = optimize(synthesized.aig, DEFAULT_SCRIPT)
+        synthesized.aig = optimized.aig
+        state.netlist = synthesized
+        state.aig_stats = optimized.aig.stats()
+        state.record(self.name, True,
+                     f"netlist: {state.aig_stats}", history=optimized.history)
+        return True
+
+
+class QorStage(Stage):
+    """PPA estimation with closed-loop script selection when feedback is on."""
+
+    name = "qor"
+
+    SCRIPTS = (
+        DEFAULT_SCRIPT,
+        ("rewrite", "sweep"),
+        ("balance", "rewrite", "balance", "sweep"),
+    )
+
+    def run(self, state: DesignState, ctx: StageContext) -> bool:
+        if state.netlist is None:
+            state.record(self.name, False, "no netlist")
+            return False
+        best_report = estimate_ppa(state.netlist)
+        chosen = "as-synthesized"
+        if ctx.enable_feedback:
+            # Closed-loop QoR refinement: try alternative synthesis scripts
+            # and keep the best area-delay product.
+            from ..synth import synthesize_source
+            for script in self.SCRIPTS:
+                try:
+                    candidate = synthesize_source(state.rtl_source,
+                                                  state.module_name)
+                    candidate.aig = optimize(candidate.aig, script).aig
+                    report = estimate_ppa(candidate)
+                except Exception:
+                    continue
+                if report.area_um2 * report.delay_ns \
+                        < best_report.area_um2 * best_report.delay_ns:
+                    best_report = report
+                    state.netlist = candidate
+                    chosen = "+".join(script)
+        state.ppa = best_report
+        state.record(self.name, True,
+                     f"{best_report.summary()} (script: {chosen})")
+        return True
+
+
+DEFAULT_PIPELINE: tuple[Stage, ...] = (
+    SpecificationStage(),
+    RtlGenerationStage(),
+    StaticAnalysisStage(),
+    VerificationStage(),
+    SynthesisStage(),
+    QorStage(),
+)

@@ -1,0 +1,54 @@
+"""``repro.flows`` — the LLM-for-EDA design frameworks the paper surveys.
+
+* :mod:`repro.flows.chipchat` — conversational co-design with a human in
+  the loop (Chip-Chat, Section IV).
+* :mod:`repro.flows.structured` — the strict feedback-driven protocol with
+  LLM-generated testbenches and human escalation ([10]).
+* :mod:`repro.flows.autochip` — fully-automated tree-search generation
+  (AutoChip, Fig. 4).
+* :mod:`repro.flows.hierarchical` — hierarchical prompting / CL-Verilog.
+* :mod:`repro.flows.autobench` — AutoBench/CorrectBench testbench
+  generation with functional self-correction.
+* :mod:`repro.flows.vrank` — VRank self-consistency candidate ranking.
+* :mod:`repro.flows.assertgen` — AssertLLM/AutoSVA assertion generation
+  and refinement.
+"""
+
+from .assertgen import (Assertion, AssertionReport, assertion_quality,
+                        generate_assertions, refine_assertions)
+from .crosscheck import (CrossCheckReport, GuidedDebugResult, HighLevelModel,
+                         crosscheck, generate_highlevel_model, guided_debug,
+                         supports_crosscheck)
+from .security import (CompromisedDesign, DetectionReport, TrojanSpec,
+                       detect_with_cec, detect_with_random_cosim,
+                       detect_with_testbench, detection_sweep, insert_trojan)
+from .autobench import (GeneratedTestbench, TbQualityReport, TbVerdict,
+                        check_design, generate_testbench, testbench_quality)
+from .autochip import (AutoChip, AutoChipConfig, AutoChipResult,
+                       BudgetComparison, compare_budgets, run_autochip)
+from .chipchat import (ChipChatResult, ChipChatSession, TapeoutReport,
+                       run_chipchat_tapeout)
+from .hierarchical import (HierarchicalResult, HierarchicalSweep,
+                           hierarchical_sweep, run_hierarchical)
+from .structured import (StructuredFeedbackFlow, StructuredFlowResult,
+                         StructuredSweep, run_structured_sweep)
+from .vrank import Cluster, VRankResult, VRankSweep, vrank, vrank_sweep
+
+__all__ = [
+    "Assertion", "AssertionReport", "AutoChip", "AutoChipConfig",
+    "CompromisedDesign", "CrossCheckReport", "DetectionReport",
+    "GuidedDebugResult", "HighLevelModel", "TrojanSpec", "crosscheck",
+    "detect_with_cec", "detect_with_random_cosim", "detect_with_testbench",
+    "detection_sweep", "generate_highlevel_model", "guided_debug",
+    "insert_trojan", "supports_crosscheck",
+    "AutoChipResult", "BudgetComparison", "ChipChatResult",
+    "ChipChatSession", "Cluster", "GeneratedTestbench",
+    "HierarchicalResult", "HierarchicalSweep", "StructuredFeedbackFlow",
+    "StructuredFlowResult", "StructuredSweep", "TapeoutReport",
+    "TbQualityReport", "TbVerdict", "VRankResult", "VRankSweep",
+    "assertion_quality", "check_design", "compare_budgets",
+    "generate_assertions", "generate_testbench", "hierarchical_sweep",
+    "refine_assertions", "run_autochip", "run_chipchat_tapeout",
+    "run_hierarchical", "run_structured_sweep", "testbench_quality",
+    "vrank", "vrank_sweep",
+]

@@ -1,0 +1,173 @@
+"""AssertLLM / AutoSVA-style assertion generation (Section II).
+
+AssertLLM extracts structure from the specification, maps signals, and emits
+assertions; AutoSVA iteratively refines them against formal-verification
+feedback.  Our assertions are executable checks over the mini-Verilog
+simulator:
+
+* **point assertions** — for a concrete stimulus, an output takes a concrete
+  value (the workhorse of spec-mined properties);
+* **reset assertions** — after reset, a sequential design's outputs hold
+  their documented reset values.
+
+Quality is measured the way the assertion literature does: *validity*
+(assertion holds on the golden design) and *mutant kill rate* (how many
+faulty designs at least one assertion rejects).  The AutoSVA-style
+refinement loop removes assertions the (simulated) formal tool disproves,
+driving validity to 1 at some cost in assertion count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..bench.harness import make_task
+from ..bench.problems import Problem
+from ..hdl.testbench import exercise_module
+from ..llm.model import SimulatedLLM, _stable_seed
+from .autobench import _interface
+
+
+@dataclass(frozen=True)
+class Assertion:
+    kind: str                    # 'point' | 'reset'
+    stimulus: tuple[tuple[str, int], ...]
+    port: str
+    expected: str
+    description: str
+
+
+def _holds(assertion: Assertion, source: str, module_name: str,
+           clk: str | None, reset: str | None) -> bool | None:
+    """Check one assertion; None when the design does not simulate."""
+    if assertion.kind == "reset":
+        vectors = [dict(assertion.stimulus)]
+        rows = exercise_module(source, module_name, vectors, clk=clk,
+                               reset=reset)
+    else:
+        rows = exercise_module(source, module_name,
+                               [dict(assertion.stimulus)], clk=clk,
+                               reset=reset)
+    if rows is None:
+        return None
+    return rows[-1].get(assertion.port) == assertion.expected
+
+
+def generate_assertions(problem: Problem, llm: SimulatedLLM,
+                        n_assertions: int = 8,
+                        seed: int = 0) -> list[Assertion]:
+    """Mine assertions from the spec (simulated AssertLLM front-end)."""
+    profile = llm.profile
+    rng = random.Random(_stable_seed(seed, profile.name, problem.problem_id,
+                                     "assert"))
+    widths, clk, reset = _interface(problem)
+    assertions: list[Assertion] = []
+
+    # Reset assertion for sequential designs.
+    if reset is not None:
+        zero_vec = {name: 0 for name in widths}
+        rows = exercise_module(problem.reference, problem.module_name,
+                               [zero_vec], clk=clk, reset=reset)
+        if rows:
+            for port, value in rows[-1].items():
+                expected = value
+                if rng.random() < (1 - profile.spec_comprehension) * 0.4:
+                    expected = value + "_wrong"
+                assertions.append(Assertion(
+                    "reset", tuple(sorted(zero_vec.items())), port, expected,
+                    f"after reset, {port} holds its documented value"))
+
+    # Point assertions from the model's reading of the spec.
+    p_err = (1.0 - profile.semantic_reliability) * 0.4
+    while len(assertions) < n_assertions:
+        vec = {name: rng.getrandbits(width) for name, width in widths.items()}
+        rows = exercise_module(problem.reference, problem.module_name, [vec],
+                               clk=clk, reset=reset)
+        if not rows:
+            break
+        port = rng.choice(sorted(rows[-1]))
+        expected = rows[-1][port]
+        if rng.random() < p_err:
+            expected = expected + "_wrong"
+        assertions.append(Assertion(
+            "point", tuple(sorted(vec.items())), port, expected,
+            f"{port} matches the spec for stimulus {vec}"))
+    return assertions
+
+
+@dataclass
+class AssertionReport:
+    problem_id: str
+    model: str
+    generated: int
+    valid: int                   # hold on the golden design
+    refined: int                 # surviving the AutoSVA-style loop
+    mutant_kill_rate: float
+    refinement_rounds: int
+
+    @property
+    def validity(self) -> float:
+        return self.valid / self.generated if self.generated else 0.0
+
+    def summary(self) -> str:
+        return (f"{self.problem_id} [{self.model}]: {self.generated} "
+                f"generated, validity={self.validity:.0%}, "
+                f"{self.refined} after refinement, "
+                f"kill={self.mutant_kill_rate:.0%}")
+
+
+def refine_assertions(assertions: list[Assertion], problem: Problem,
+                      max_rounds: int = 3) -> tuple[list[Assertion], int]:
+    """AutoSVA-style loop: drop assertions the formal tool disproves.
+
+    Our 'formal tool' is exhaustive-enough simulation against the golden
+    design — sound for the point/reset assertion classes used here.
+    """
+    widths, clk, reset = _interface(problem)
+    current = list(assertions)
+    rounds = 0
+    for _ in range(max_rounds):
+        rounds += 1
+        failing = [a for a in current
+                   if _holds(a, problem.reference, problem.module_name,
+                             clk, reset) is not True]
+        if not failing:
+            break
+        current = [a for a in current if a not in failing]
+    return current, rounds
+
+
+def assertion_quality(problem: Problem, llm: SimulatedLLM, seed: int = 0,
+                      n_assertions: int = 8,
+                      n_mutants: int = 5) -> AssertionReport:
+    widths, clk, reset = _interface(problem)
+    assertions = generate_assertions(problem, llm, n_assertions, seed)
+    valid = sum(1 for a in assertions
+                if _holds(a, problem.reference, problem.module_name,
+                          clk, reset) is True)
+    refined, rounds = refine_assertions(assertions, problem)
+
+    # Mutant killing with the refined set.
+    task = make_task(problem)
+    mutant_llm = SimulatedLLM("dave-gpt2", seed=seed + 31)
+    killed = 0
+    produced = 0
+    for i in range(n_mutants * 3):
+        if produced >= n_mutants:
+            break
+        generation = mutant_llm.generate(task, temperature=1.1,
+                                         sample_index=i)
+        if not generation.faults:
+            continue
+        produced += 1
+        for assertion in refined:
+            outcome = _holds(assertion, generation.text, problem.module_name,
+                             clk, reset)
+            if outcome is not True:     # fails or does not simulate
+                killed += 1
+                break
+    kill_rate = killed / produced if produced else 0.0
+    return AssertionReport(problem.problem_id, llm.profile.name,
+                           len(assertions), valid, len(refined), kill_rate,
+                           rounds)

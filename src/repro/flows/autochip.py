@@ -1,0 +1,163 @@
+"""AutoChip: fully-automated Verilog generation with tree search (Fig. 4).
+
+Given a problem with a *quality testbench* (AutoChip's required input), each
+round samples ``k`` candidate responses, evaluates every candidate with the
+EDA tools, ranks them by fraction of passing test cases, and feeds the best
+candidate's tool output back for the next round — up to tree depth ``d``.
+
+The experiment the paper reports (E6 here): across four commercial-model
+profiles, only the most capable one benefits more from feedback iterations
+(depth) than from candidate sampling (breadth), because exploiting EDA error
+messages requires high feedback comprehension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bench.harness import evaluate_candidate, make_task
+from ..bench.problems import Problem
+from ..hdl.testbench import TestbenchResult
+from ..llm.model import Generation, GenerationTask, SimulatedLLM
+from ..llm.prompts import Prompt, PromptStrategy
+
+
+@dataclass
+class AutoChipConfig:
+    k: int = 4                  # candidates per round
+    depth: int = 3              # feedback iterations
+    temperature: float = 0.8
+    strategy: PromptStrategy = PromptStrategy.DIRECT
+
+
+@dataclass
+class RoundLog:
+    round_no: int
+    scores: list[float]
+    best_score: float
+    feedback_used: str
+
+
+@dataclass
+class AutoChipResult:
+    problem_id: str
+    model: str
+    success: bool
+    best_score: float
+    best_source: str
+    rounds_used: int
+    generations: int
+    tool_evaluations: int
+    total_tokens: int
+    rounds: list[RoundLog] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "PASS" if self.success else "FAIL"
+        return (f"{self.problem_id} [{self.model}]: {status} "
+                f"score={self.best_score:.2f} rounds={self.rounds_used} "
+                f"generations={self.generations}")
+
+
+class AutoChip:
+    """The tree-search generation loop."""
+
+    def __init__(self, llm: SimulatedLLM, config: AutoChipConfig | None = None):
+        self.llm = llm
+        self.config = config or AutoChipConfig()
+
+    def run(self, problem: Problem) -> AutoChipResult:
+        cfg = self.config
+        task = make_task(problem)
+        prompt = Prompt(spec=problem.spec, strategy=cfg.strategy)
+        tokens_before = self.llm.usage.total_tokens
+
+        result = AutoChipResult(problem.problem_id, self.llm.profile.name,
+                                False, 0.0, "", 0, 0, 0, 0)
+        best_generation: Generation | None = None
+        best_result: TestbenchResult | None = None
+        best_score = -1.0
+        feedback = ""
+
+        for round_no in range(1, cfg.depth + 1):
+            result.rounds_used = round_no
+            ranked: list[tuple[float, Generation, TestbenchResult]] = []
+            for i in range(cfg.k):
+                if round_no == 1 or best_generation is None:
+                    generation = self.llm.generate(
+                        task, prompt, cfg.temperature,
+                        sample_index=(round_no - 1) * cfg.k + i)
+                else:
+                    generation = self.llm.refine(
+                        task, best_generation, feedback, cfg.temperature,
+                        sample_index=(round_no - 1) * cfg.k + i)
+                result.generations += 1
+                tb = evaluate_candidate(problem, generation.text)
+                result.tool_evaluations += 1
+                score = tb.score if tb.compiled else -0.5
+                ranked.append((score, generation, tb))
+            ranked.sort(key=lambda item: -item[0])
+            round_best_score, round_best_gen, round_best_tb = ranked[0]
+            result.rounds.append(RoundLog(
+                round_no, [r[0] for r in ranked], round_best_score,
+                feedback[:80]))
+            if round_best_score > best_score:
+                best_score = round_best_score
+                best_generation = round_best_gen
+                best_result = round_best_tb
+            assert best_result is not None
+            if best_result.passed:
+                break
+            feedback = best_result.feedback()
+
+        result.success = bool(best_result and best_result.passed)
+        result.best_score = max(0.0, best_score)
+        result.best_source = best_generation.text if best_generation else ""
+        result.total_tokens = self.llm.usage.total_tokens - tokens_before
+        return result
+
+
+def run_autochip(problem: Problem, model: str = "gpt-4o", k: int = 4,
+                 depth: int = 3, seed: int = 0,
+                 temperature: float = 0.8) -> AutoChipResult:
+    """One-call AutoChip run."""
+    llm = SimulatedLLM(model, seed=seed)
+    return AutoChip(llm, AutoChipConfig(k=k, depth=depth,
+                                        temperature=temperature)).run(problem)
+
+
+@dataclass
+class BudgetComparison:
+    """Breadth-vs-depth comparison at a matched generation budget."""
+
+    model: str
+    budget: int
+    breadth_success: float      # k=budget, d=1
+    depth_success: float        # k=1, d=budget
+    feedback_gain: float        # depth - breadth
+
+    def summary(self) -> str:
+        return (f"{self.model}: breadth={self.breadth_success:.2f} "
+                f"depth={self.depth_success:.2f} "
+                f"gain={self.feedback_gain:+.2f}")
+
+
+def compare_budgets(model: str, problems: list[Problem], budget: int = 6,
+                    seeds: tuple[int, ...] = (0, 1, 2),
+                    temperature: float = 0.8) -> BudgetComparison:
+    """Same total generations spent two ways: all breadth vs all depth."""
+    def run_mode(k: int, depth: int) -> float:
+        wins = 0
+        total = 0
+        for seed in seeds:
+            llm = SimulatedLLM(model, seed=seed)
+            chip = AutoChip(llm, AutoChipConfig(k=k, depth=depth,
+                                                temperature=temperature))
+            for problem in problems:
+                outcome = chip.run(problem)
+                wins += 1 if outcome.success else 0
+                total += 1
+        return wins / total if total else 0.0
+
+    breadth = run_mode(k=budget, depth=1)
+    depth = run_mode(k=1, depth=budget)
+    return BudgetComparison(model, budget, breadth, depth, depth - breadth)

@@ -1,0 +1,182 @@
+"""Hardware-security evaluation for LLM-generated RTL (Section VI,
+"Privacy and Security").
+
+The paper warns that "malicious code or hardware Trojans may be inserted
+into the generated hardware designs via the cloud platform" (RTL-Breaker's
+threat model).  This module makes the threat and the defenses concrete:
+
+* :func:`insert_trojan` — compromise a design with a classic combinational
+  trojan: a rare-input trigger that corrupts one output bit.  The payload
+  is syntactically valid and survives compilation, exactly why functional
+  testing struggles to catch it.
+* Detectors, in increasing strength:
+  - ``testbench`` — the problem's sign-off bench (directed tests rarely hit
+    a rare trigger);
+  - ``random_cosim`` — random-vector comparison against a trusted reference
+    (catch rate scales with vector budget vs trigger rarity);
+  - ``exhaustive_cec`` — AIG equivalence checking against the reference
+    (sound for small combinational designs: always catches a functional
+    trojan).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+from ..bench.harness import evaluate_candidate
+from ..bench.problems import Problem
+from ..hdl import parse_module
+from ..hdl.testbench import exercise_module
+from ..llm.model import _stable_seed
+from ..synth import check_aigs, synthesize_module
+from .autobench import _interface
+
+
+@dataclass
+class TrojanSpec:
+    trigger_input: str
+    trigger_value: int
+    victim_output: str
+    description: str
+
+
+@dataclass
+class CompromisedDesign:
+    source: str
+    trojan: TrojanSpec
+    problem_id: str
+
+
+def insert_trojan(problem: Problem, seed: int = 0) -> CompromisedDesign | None:
+    """Insert a rare-trigger output-corruption trojan into the reference.
+
+    Returns None for designs the simple insertion pattern cannot handle
+    (sequential or port-shape mismatches).
+    """
+    if problem.sequential:
+        return None
+    rng = random.Random(_stable_seed(seed, problem.problem_id, "trojan"))
+    widths, _, _ = _interface(problem)
+    multi_bit = [(n, w) for n, w in widths.items() if w >= 4]
+    if not multi_bit:
+        return None
+    trigger_input, width = rng.choice(sorted(multi_bit))
+    trigger_value = rng.getrandbits(width)
+
+    module = parse_module(problem.reference, problem.module_name)
+    outputs = [p for p in module.ports if p.direction == "output"]
+    if not outputs:
+        return None
+    victim = rng.choice(sorted(p.name for p in outputs))
+
+    victim_port = next(p for p in outputs if p.name == victim)
+    if victim_port.is_reg:
+        return None  # keep the insertion pattern purely combinational
+
+    # Redirect the victim's internal driver to a shadow net, then re-drive
+    # the output port through the trigger mux (flip bit 0 on trigger).
+    source = problem.reference
+    shadow = f"{victim}_pre"
+    source = re.sub(rf"\b{victim}\b", shadow, source)
+    source = re.sub(rf"\b{shadow}\b(?=\s*[,)])", victim, source, count=1)
+
+    if victim_port.rng is not None:
+        from ..hdl.elaborate import eval_const
+        msb = eval_const(victim_port.rng.msb, {})
+        shadow_decl = f"  wire [{msb}:0] {shadow};"
+        payload = f"({shadow} ^ 1)"
+    else:
+        shadow_decl = f"  wire {shadow};"
+        payload = f"(~{shadow})"
+    trigger = f"({trigger_input} == {width}'d{trigger_value})"
+    trojan_logic = (f"{shadow_decl}\n"
+                    f"  assign {victim} = {trigger} ? {payload} : {shadow};\n")
+    source = source.replace("endmodule", trojan_logic + "endmodule", 1)
+
+    spec = TrojanSpec(trigger_input, trigger_value, victim,
+                      f"corrupts '{victim}' when {trigger_input}=="
+                      f"{trigger_value}")
+    return CompromisedDesign(source, spec, problem.problem_id)
+
+
+@dataclass
+class DetectionReport:
+    problem_id: str
+    detector: str
+    detected: bool
+    effort: int            # vectors simulated / checks run
+    note: str = ""
+
+
+def detect_with_testbench(problem: Problem,
+                          design: CompromisedDesign) -> DetectionReport:
+    """Directed sign-off tests: blind to rare triggers by construction."""
+    result = evaluate_candidate(problem, design.source)
+    return DetectionReport(problem.problem_id, "testbench",
+                           not result.passed, result.total_checks,
+                           "directed tests")
+
+
+def detect_with_random_cosim(problem: Problem, design: CompromisedDesign,
+                             vectors: int = 64,
+                             seed: int = 0) -> DetectionReport:
+    """Random-vector comparison against the trusted reference."""
+    widths, clk, reset = _interface(problem)
+    rng = random.Random(_stable_seed(seed, problem.problem_id, "cosimdet"))
+    stimulus = [{n: rng.getrandbits(w) for n, w in widths.items()}
+                for _ in range(vectors)]
+    golden = exercise_module(problem.reference, problem.module_name,
+                             stimulus, clk=clk, reset=reset)
+    suspect = exercise_module(design.source, problem.module_name,
+                              stimulus, clk=clk, reset=reset)
+    if golden is None or suspect is None:
+        return DetectionReport(problem.problem_id, "random_cosim", True,
+                               0, "design failed to simulate")
+    detected = golden != suspect
+    return DetectionReport(problem.problem_id, "random_cosim", detected,
+                           vectors)
+
+
+def detect_with_cec(problem: Problem,
+                    design: CompromisedDesign) -> DetectionReport:
+    """Formal equivalence against the reference netlist (sound)."""
+    try:
+        golden = synthesize_module(parse_module(problem.reference,
+                                                problem.module_name))
+        suspect = synthesize_module(parse_module(design.source,
+                                                 problem.module_name))
+    except Exception as exc:
+        return DetectionReport(problem.problem_id, "exhaustive_cec", True, 0,
+                               f"synthesis rejected: {exc}")
+    result = check_aigs(golden.aig, suspect.aig, max_exhaustive_inputs=18,
+                        random_vectors=4096)
+    return DetectionReport(problem.problem_id, "exhaustive_cec",
+                           not result.equivalent, result.vectors_checked,
+                           "exhaustive" if result.exhaustive else "random")
+
+
+def detection_sweep(problems: list[Problem], seeds=(0, 1, 2),
+                    cosim_vectors: int = 64) -> dict[str, float]:
+    """Catch rate per detector across compromised designs."""
+    caught: dict[str, int] = {"testbench": 0, "random_cosim": 0,
+                              "exhaustive_cec": 0}
+    total = 0
+    for seed in seeds:
+        for problem in problems:
+            design = insert_trojan(problem, seed=seed)
+            if design is None:
+                continue
+            total += 1
+            if detect_with_testbench(problem, design).detected:
+                caught["testbench"] += 1
+            if detect_with_random_cosim(problem, design,
+                                        vectors=cosim_vectors,
+                                        seed=seed).detected:
+                caught["random_cosim"] += 1
+            if detect_with_cec(problem, design).detected:
+                caught["exhaustive_cec"] += 1
+    if total == 0:
+        return {k: 0.0 for k in caught}
+    return {k: v / total for k, v in caught.items()}

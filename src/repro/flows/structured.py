@@ -1,0 +1,169 @@
+"""The structured feedback-driven design flow of Section IV ([10]).
+
+The strict conversational protocol: ask the model for a design, then for a
+testbench, then simulate and feed compiler/simulator output back to the
+model.  Human feedback is given only when the model fails to fix a mistake
+after several automated attempts.
+
+The paper's findings this flow reproduces (experiment E5):
+
+* about half of GPT-4-class runs need no human feedback at all, weaker
+  models need it much more often, and
+* the generated testbenches lack acceptable coverage — designs that pass
+  the model's own testbench can still fail the golden sign-off bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..bench.harness import evaluate_candidate, make_task
+from ..bench.problems import Problem
+from ..llm.model import SimulatedLLM
+from ..llm.prompts import Prompt, PromptStrategy
+from .autobench import check_design, generate_testbench
+
+
+@dataclass
+class StructuredFlowResult:
+    problem_id: str
+    model: str
+    success: bool                  # passes the golden sign-off testbench
+    tool_iterations: int
+    human_interventions: int
+    own_tb_passed: bool            # passed the model's own testbench
+    coverage_gap: bool             # own TB passed but golden TB failed
+    generated_tb_checks: int
+
+    @property
+    def no_human_needed(self) -> bool:
+        return self.success and self.human_interventions == 0
+
+    def summary(self) -> str:
+        status = "PASS" if self.success else "FAIL"
+        return (f"{self.problem_id} [{self.model}]: {status} "
+                f"iters={self.tool_iterations} "
+                f"human={self.human_interventions} "
+                f"coverage_gap={self.coverage_gap}")
+
+
+def _human_fix_testbench(tb):
+    """The human engineer corrects wrong expected values in the generated
+    testbench (corrupted expectations carry a recognizable wrong value)."""
+    import dataclasses
+    fixed = [{port: value.removesuffix("_wrong")
+              for port, value in row.items()}
+             for row in tb.expectations]
+    return dataclasses.replace(tb, expectations=fixed, corrupted_count=0)
+
+
+class StructuredFeedbackFlow:
+    """Design + testbench generation with tool feedback and human escalation."""
+
+    def __init__(self, llm: SimulatedLLM, max_tool_iterations: int = 4,
+                 human_budget: int = 3, temperature: float = 0.7):
+        self.llm = llm
+        self.max_tool_iterations = max_tool_iterations
+        self.human_budget = human_budget
+        self.temperature = temperature
+
+    def run(self, problem: Problem, seed: int = 0) -> StructuredFlowResult:
+        task = make_task(problem)
+        prompt = Prompt(spec=problem.spec,
+                        strategy=PromptStrategy.CONVERSATIONAL)
+        generation = self.llm.generate(task, prompt, self.temperature,
+                                       sample_index=seed)
+        own_tb = generate_testbench(problem, self.llm, seed=seed)
+
+        tool_iterations = 0
+        human_interventions = 0
+        stuck_count = 0
+        last_failures = -1
+
+        while True:
+            verdict = check_design(own_tb, generation.text,
+                                   problem.module_name)
+            if verdict.passed:
+                break
+            if tool_iterations >= self.max_tool_iterations \
+                    and human_interventions >= self.human_budget:
+                break
+            failures = verdict.failures if verdict.simulated else 999
+            if failures == last_failures:
+                stuck_count += 1
+            else:
+                stuck_count = 0
+            last_failures = failures
+
+            needs_human = (stuck_count >= 2
+                           or tool_iterations >= self.max_tool_iterations)
+            if needs_human and human_interventions < self.human_budget:
+                human_interventions += 1
+                stuck_count = 0
+                # The human reads both the design and the testbench, so they
+                # can tell which one is wrong (ground truth is fair game for
+                # the human oracle, unlike for the model).
+                if generation.faults or generation.misinterpreted:
+                    generation = self.llm.apply_human_fix(task, generation)
+                else:
+                    own_tb = _human_fix_testbench(own_tb)
+                continue
+            if tool_iterations >= self.max_tool_iterations:
+                break
+            tool_iterations += 1
+            if not verdict.simulated:
+                feedback = "COMPILE ERROR: candidate failed to elaborate"
+            else:
+                feedback = (f"simulation: {verdict.failures} of "
+                            f"{verdict.checks} checks FAIL")
+            generation = self.llm.refine(task, generation, feedback,
+                                         self.temperature,
+                                         sample_index=tool_iterations)
+
+        own_passed = check_design(own_tb, generation.text,
+                                  problem.module_name).passed
+        golden = evaluate_candidate(problem, generation.text)
+        return StructuredFlowResult(
+            problem_id=problem.problem_id,
+            model=self.llm.profile.name,
+            success=golden.passed,
+            tool_iterations=tool_iterations,
+            human_interventions=human_interventions,
+            own_tb_passed=own_passed,
+            coverage_gap=own_passed and not golden.passed,
+            generated_tb_checks=own_tb.n_checks,
+        )
+
+
+@dataclass
+class StructuredSweep:
+    results: list[StructuredFlowResult] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.success for r in self.results) / len(self.results)
+
+    @property
+    def no_human_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.no_human_needed for r in self.results) / len(self.results)
+
+    @property
+    def coverage_gap_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.coverage_gap for r in self.results) / len(self.results)
+
+
+def run_structured_sweep(model: str, problems: list[Problem],
+                         seeds: tuple[int, ...] = (0, 1, 2)) -> StructuredSweep:
+    sweep = StructuredSweep()
+    for seed in seeds:
+        llm = SimulatedLLM(model, seed=seed)
+        flow = StructuredFeedbackFlow(llm)
+        for problem in problems:
+            sweep.results.append(flow.run(problem, seed=seed))
+    return sweep

@@ -1,0 +1,153 @@
+"""VRank: self-consistency ranking of Verilog candidates (Section II).
+
+"VRank exploits the probabilistic nature of LLMs to generate multiple
+Verilog candidates, cluster them by simulation outputs, rank them by
+consistency, and select the best design."
+
+Candidates are clustered by their output signature on shared random input
+vectors (no golden model needed), and the representative of the largest
+cluster is selected — the same majority-vote logic as self-consistency
+decoding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..bench.harness import evaluate_candidate, make_task
+from ..bench.problems import Problem
+from ..hdl.testbench import exercise_module
+from ..llm.model import Generation, SimulatedLLM
+from ..llm.prompts import Prompt
+
+
+@dataclass
+class Cluster:
+    signature: str
+    members: list[int] = field(default_factory=list)   # candidate indexes
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class VRankResult:
+    problem_id: str
+    model: str
+    n_candidates: int
+    n_simulated: int            # candidates that compiled and simulated
+    clusters: list[Cluster] = field(default_factory=list)
+    selected_index: int = -1
+    selected_passed: bool = False
+    first_passed: bool = False  # baseline: pick the first sample
+    any_passed: bool = False    # oracle upper bound
+
+    @property
+    def consistency_gain(self) -> float:
+        return float(self.selected_passed) - float(self.first_passed)
+
+
+def _make_vectors(problem: Problem, n: int, rng: random.Random,
+                  widths: dict[str, int]) -> list[dict[str, int]]:
+    vectors = []
+    for _ in range(n):
+        vectors.append({name: rng.getrandbits(width)
+                        for name, width in widths.items()})
+    return vectors
+
+
+def vrank(problem: Problem, model: str | SimulatedLLM = "gpt-4",
+          n_candidates: int = 8, n_vectors: int = 12,
+          temperature: float = 0.9, seed: int = 0) -> VRankResult:
+    """Run the full VRank flow on one problem."""
+    llm = model if isinstance(model, SimulatedLLM) else SimulatedLLM(model,
+                                                                     seed=seed)
+    task = make_task(problem)
+    prompt = Prompt(spec=problem.spec)
+    rng = random.Random(seed * 7919 + 13)
+
+    generations: list[Generation] = [
+        llm.generate(task, prompt, temperature, sample_index=i)
+        for i in range(n_candidates)]
+
+    # Input widths from the reference interface (public knowledge: the spec
+    # fixes the port list).
+    from ..hdl import parse_module
+    ref = parse_module(problem.reference, problem.module_name)
+    widths: dict[str, int] = {}
+    clk_name = None
+    for port in ref.ports:
+        if port.direction != "input":
+            continue
+        from ..hdl.elaborate import eval_const
+        width = 1 if port.rng is None else eval_const(port.rng.msb, {}) + 1
+        if port.name in ("clk", "clock"):
+            clk_name = port.name
+            continue
+        widths[port.name] = width
+    vectors = _make_vectors(problem, n_vectors, rng, widths)
+
+    result = VRankResult(problem.problem_id, llm.profile.name,
+                         n_candidates, 0)
+    signatures: list[str | None] = []
+    for generation in generations:
+        sig_rows = exercise_module(generation.text, problem.module_name,
+                                   vectors, clk=clk_name,
+                                   reset="rst")
+        if sig_rows is None:
+            signatures.append(None)
+            continue
+        result.n_simulated += 1
+        signatures.append(repr(sig_rows))
+
+    clusters: dict[str, Cluster] = {}
+    for index, signature in enumerate(signatures):
+        if signature is None:
+            continue
+        clusters.setdefault(signature, Cluster(signature)).members.append(index)
+    result.clusters = sorted(clusters.values(), key=lambda c: -c.size)
+
+    if result.clusters:
+        result.selected_index = result.clusters[0].members[0]
+    passes = [evaluate_candidate(problem, g.text).passed for g in generations]
+    result.any_passed = any(passes)
+    result.first_passed = passes[0] if passes else False
+    if result.selected_index >= 0:
+        result.selected_passed = passes[result.selected_index]
+    return result
+
+
+@dataclass
+class VRankSweep:
+    results: list[VRankResult] = field(default_factory=list)
+
+    @property
+    def selected_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.selected_passed for r in self.results) / len(self.results)
+
+    @property
+    def baseline_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.first_passed for r in self.results) / len(self.results)
+
+    @property
+    def oracle_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.any_passed for r in self.results) / len(self.results)
+
+
+def vrank_sweep(problems: list[Problem], model: str = "gpt-4",
+                n_candidates: int = 8, seeds: tuple[int, ...] = (0, 1, 2),
+                temperature: float = 0.9) -> VRankSweep:
+    sweep = VRankSweep()
+    for seed in seeds:
+        for problem in problems:
+            sweep.results.append(vrank(problem, model, n_candidates,
+                                       temperature=temperature, seed=seed))
+    return sweep

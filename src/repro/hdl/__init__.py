@@ -1,0 +1,26 @@
+"""``repro.hdl`` — a from-scratch mini-Verilog toolchain.
+
+Substitutes for Icarus Verilog in the paper's flows: lexing, parsing,
+elaboration, event-driven four-state simulation, testbench scoring, direct
+port-level stimulus, and lint diagnostics.
+"""
+
+from .ast import Module, SourceFile
+from .errors import (ElaborationError, HdlError, LexError, LintWarning,
+                     ParseError, SimulationError)
+from .elaborate import Design, elaborate
+from .lexer import tokenize
+from .lint import lint_module, lint_source
+from .parser import parse, parse_module
+from .simulator import Simulator
+from .testbench import (StimulusRunner, TestbenchResult, exercise_module,
+                        run_testbench)
+from .values import Logic, concat_all
+
+__all__ = [
+    "Design", "ElaborationError", "HdlError", "LexError", "LintWarning",
+    "Logic", "Module", "ParseError", "SimulationError", "Simulator",
+    "SourceFile", "StimulusRunner", "TestbenchResult", "concat_all",
+    "elaborate", "exercise_module", "lint_module", "lint_source", "parse",
+    "parse_module", "run_testbench", "tokenize",
+]

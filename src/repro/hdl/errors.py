@@ -1,0 +1,64 @@
+"""Diagnostics for the mini-Verilog toolchain.
+
+Tool errors are first-class data here: the LLM feedback loops of the paper
+(AutoChip, the structured feedback flow, HLS repair) consume compiler and
+simulator messages as their training-free "reward" signal, so every raised
+error carries a location and a stable machine-readable ``code``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, col {self.column}"
+
+
+class HdlError(Exception):
+    """Base class for all mini-Verilog toolchain errors."""
+
+    code = "HDL000"
+
+    def __init__(self, message: str, loc: SourceLocation | None = None):
+        self.message = message
+        self.loc = loc
+        where = f" ({loc})" if loc else ""
+        super().__init__(f"[{self.code}] {message}{where}")
+
+
+class LexError(HdlError):
+    code = "HDL101"
+
+
+class ParseError(HdlError):
+    code = "HDL102"
+
+
+class ElaborationError(HdlError):
+    code = "HDL201"
+
+
+class SimulationError(HdlError):
+    code = "HDL301"
+
+
+class LintWarning:
+    """A non-fatal diagnostic produced by the linter."""
+
+    def __init__(self, code: str, message: str, loc: SourceLocation | None = None):
+        self.code = code
+        self.message = message
+        self.loc = loc
+
+    def __str__(self) -> str:
+        where = f" ({self.loc})" if self.loc else ""
+        return f"[{self.code}] {self.message}{where}"
+
+    def __repr__(self) -> str:
+        return f"LintWarning({self.code!r}, {self.message!r})"

@@ -1,0 +1,208 @@
+"""Testbench execution harness and direct stimulus driver.
+
+Two ways to exercise a design:
+
+* :func:`run_testbench` — compile DUT + testbench source together, simulate,
+  and score by the PASS/FAIL lines the testbench prints (the contract used by
+  the paper's feedback loops: the EDA tool output *is* the reward signal).
+* :class:`StimulusRunner` — poke/peek ports directly from Python, used by the
+  ranking flows (VRank/AutoChip) to compare candidate designs on identical
+  input vectors without trusting any generated testbench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .elaborate import elaborate
+from .errors import HdlError
+from .parser import parse
+from .simulator import Simulator
+from .values import Logic
+
+
+@dataclass
+class TestbenchResult:
+    """Outcome of one compile+simulate run of a testbench."""
+
+    compiled: bool
+    pass_count: int = 0
+    fail_count: int = 0
+    error_count: int = 0
+    finished: bool = False
+    output: list[str] = field(default_factory=list)
+    compile_error: str = ""
+    runtime_error: str = ""
+    sim_time: int = 0
+
+    @property
+    def total_checks(self) -> int:
+        return self.pass_count + self.fail_count + self.error_count
+
+    @property
+    def score(self) -> float:
+        """Fraction of checks passed; 0.0 when nothing ran or compile failed."""
+        if not self.compiled or self.runtime_error:
+            return 0.0
+        total = self.total_checks
+        if total == 0:
+            # A testbench that finished but checked nothing gets no credit.
+            return 0.0
+        return self.pass_count / total
+
+    @property
+    def passed(self) -> bool:
+        return (self.compiled and not self.runtime_error and self.finished
+                and self.fail_count == 0 and self.error_count == 0
+                and self.pass_count > 0)
+
+    def feedback(self, max_lines: int = 12) -> str:
+        """Tool feedback text in the shape an LLM repair loop consumes."""
+        if not self.compiled:
+            return f"COMPILE ERROR:\n{self.compile_error}"
+        if self.runtime_error:
+            return f"RUNTIME ERROR:\n{self.runtime_error}"
+        lines = [ln for ln in self.output
+                 if "FAIL" in ln or "ERROR" in ln or "PASS" in ln]
+        header = (f"simulation finished at t={self.sim_time}: "
+                  f"{self.pass_count} passed, "
+                  f"{self.fail_count + self.error_count} failed")
+        return "\n".join([header] + lines[:max_lines])
+
+
+def run_testbench(source: str, top: str, max_time: int = 200_000,
+                  seed: int = 1) -> TestbenchResult:
+    """Compile ``source`` (DUT and testbench together) and run module ``top``."""
+    try:
+        sf = parse(source)
+        design = elaborate(sf, top)
+    except HdlError as exc:
+        return TestbenchResult(compiled=False, compile_error=str(exc))
+    sim = Simulator(design, seed=seed)
+    result = TestbenchResult(compiled=True)
+    try:
+        sim.run(max_time=max_time)
+    except HdlError as exc:
+        result.runtime_error = str(exc)
+    result.output = sim.output
+    result.error_count = sim.error_count
+    result.finished = sim.finished
+    result.sim_time = sim.time
+    for line in sim.output:
+        if line.startswith("ERROR:"):
+            continue  # already counted via error_count
+        if "FAIL" in line:
+            result.fail_count += 1
+        elif "PASS" in line:
+            result.pass_count += 1
+    return result
+
+
+class StimulusRunner:
+    """Drives a single module's ports directly, without a Verilog testbench."""
+
+    def __init__(self, source: str, top: str, seed: int = 1):
+        sf = parse(source)
+        self.design = elaborate(sf, top)
+        self.top = top
+        self.sim = Simulator(self.design, seed=seed)
+        self._ports = {name: sig for name, sig in self.design.signals.items()
+                       if sig.is_port}
+        # Prime time-zero evaluation of combinational logic.
+        for idx, proc in enumerate(self.design.processes):
+            if proc.kind == "assign" or (proc.kind == "always" and not proc.edges
+                                         and not self.sim._has_timing(proc.body)):
+                self.sim._active.append(("comb", idx))
+        self.settle()
+
+    @property
+    def inputs(self) -> list[str]:
+        return [n for n, s in self._ports.items() if s.direction == "input"]
+
+    @property
+    def outputs(self) -> list[str]:
+        return [n for n, s in self._ports.items() if s.direction == "output"]
+
+    def width_of(self, port: str) -> int:
+        return self._ports[port].width
+
+    def poke(self, port: str, value: int) -> None:
+        sig = self._ports.get(port)
+        if sig is None or sig.direction != "input":
+            raise KeyError(f"'{port}' is not an input port of '{self.top}'")
+        self.sim._set_signal(port, Logic.from_int(value, sig.width))
+
+    def peek(self, port: str) -> Logic:
+        if port not in self._ports:
+            raise KeyError(f"'{port}' is not a port of '{self.top}'")
+        return self.sim.values[port]
+
+    def settle(self, max_iters: int = 100_000) -> None:
+        """Drain the active/NBA queues at the current time (delta cycles)."""
+        sim = self.sim
+        iters = 0
+        sim._steps_this_slot = 0
+        while sim._active or sim._nba:
+            iters += 1
+            if iters > max_iters:
+                raise HdlError("design did not settle (combinational loop?)")
+            while sim._active:
+                item = sim._active.pop(0)
+                tag = item[0]
+                if tag == "comb":
+                    sim._run_comb(item[1])
+                elif tag == "edge":
+                    proc = sim.design.processes[item[1]]
+                    from .simulator import Frame
+                    sim._exec_sync(proc.body, Frame(proc.scope))
+                elif tag in ("start", "restart", "resume"):
+                    # Coroutine activity is ignored by the direct driver.
+                    continue
+            sim._apply_nba()
+
+    def clock_cycle(self, clk: str = "clk") -> None:
+        """Apply one rising edge (and return the clock to zero)."""
+        self.poke(clk, 0)
+        self.settle()
+        self.poke(clk, 1)
+        self.settle()
+        self.poke(clk, 0)
+        self.settle()
+
+    def apply(self, vector: dict[str, int], clk: str | None = None) -> dict[str, Logic]:
+        """Drive one input vector; pulse ``clk`` if given; return all outputs."""
+        for port, value in vector.items():
+            self.poke(port, value)
+        if clk is not None:
+            self.clock_cycle(clk)
+        else:
+            self.settle()
+        return {name: self.peek(name) for name in self.outputs}
+
+
+def exercise_module(source: str, top: str, vectors: list[dict[str, int]],
+                    clk: str | None = None,
+                    reset: str | None = None) -> list[dict[str, str]] | None:
+    """Run input vectors through a module; returns output signatures.
+
+    Returns ``None`` when the design fails to compile or simulate — callers
+    use that as "candidate is broken".  Output values are stringified so X
+    states are preserved in the signature (important for consistency
+    clustering in VRank).
+    """
+    try:
+        runner = StimulusRunner(source, top)
+        if reset is not None and reset in runner.inputs:
+            runner.poke(reset, 1)
+            if clk is not None:
+                runner.clock_cycle(clk)
+            runner.poke(reset, 0)
+            runner.settle()
+        signatures: list[dict[str, str]] = []
+        for vec in vectors:
+            usable = {k: v for k, v in vec.items() if k in runner.inputs}
+            outs = runner.apply(usable, clk=clk)
+            signatures.append({name: str(val) for name, val in outs.items()})
+        return signatures
+    except (HdlError, KeyError):
+        return None

@@ -1,0 +1,51 @@
+"""``repro.hls`` — the high-level-synthesis substrate and the paper's two
+HLS case studies.
+
+* mini-C frontend (lexer/parser/AST/printer) and interpreter with CPU/FPGA
+  execution modes,
+* HLS compatibility checking, repair templates, and the four-stage
+  LLM repair loop of Fig. 2 (:mod:`repro.hls.repair`),
+* analytic scheduling/pragma model and C-to-RTL generation,
+* HLSTester, the behavioural-discrepancy testing flow of Fig. 3
+  (:mod:`repro.hls.tester`).
+"""
+
+from .cast import CFunction, CProgram, CType
+from .clexer import CLexError, ctokenize
+from .compat import (CompatChecker, CompatReport, HlsIssue,
+                     check_compatibility, loop_bound)
+from .cosim import (CosimMismatch, CosimReport, c_rtl_cosim, cpu_fpga_cosim)
+from .cparser import CParseError, cparse
+from .cprinter import function_str, program_str
+from .interp import CRuntimeError, ExecutionResult, Machine, TraceEvent
+from .kernels import (AcceleratorPlan, ExtractionReport, KernelProfile,
+                      extract_kernels, plan_accelerator, profile_kernels)
+from .pragmas import (HlsPragma, LoopSite, find_loops, loop_pragmas,
+                      parse_pragma, pipeline_ii, set_loop_pragmas,
+                      unroll_factor)
+from .repair import HlsRepairEngine, RepairResult, StageLog, repair_source
+from .rtlgen import GeneratedRtl, RtlGenError, generate_rtl
+from .schedule import OpCounts, ScheduleReport, estimate_schedule
+from .slicing import SliceResult, backward_slice
+from .spectra import CoverageMap, Spectrum, spectrum_of
+from .tester import (Discrepancy, HlsTester, TesterReport, adapt_testbench,
+                     test_kernel)
+from .transforms import TEMPLATES, RepairTemplate, TransformOutcome, templates_for
+
+__all__ = [
+    "AcceleratorPlan", "ExtractionReport", "KernelProfile",
+    "extract_kernels", "plan_accelerator", "profile_kernels",
+    "CFunction", "CLexError", "CParseError", "CProgram", "CRuntimeError",
+    "CType", "CompatChecker", "CompatReport", "CosimMismatch", "CosimReport",
+    "CoverageMap", "Discrepancy", "ExecutionResult", "GeneratedRtl",
+    "HlsIssue", "HlsPragma", "HlsRepairEngine", "HlsTester", "LoopSite",
+    "Machine", "OpCounts", "RepairResult", "RepairTemplate", "RtlGenError",
+    "ScheduleReport", "SliceResult", "Spectrum", "StageLog", "TEMPLATES",
+    "TesterReport", "TraceEvent", "TransformOutcome", "adapt_testbench",
+    "backward_slice", "c_rtl_cosim", "check_compatibility", "cparse",
+    "cpu_fpga_cosim", "ctokenize", "estimate_schedule", "find_loops",
+    "function_str", "generate_rtl", "loop_bound", "loop_pragmas",
+    "parse_pragma", "pipeline_ii", "program_str", "repair_source",
+    "set_loop_pragmas", "spectrum_of", "templates_for", "test_kernel",
+    "unroll_factor",
+]

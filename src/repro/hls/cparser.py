@@ -1,0 +1,405 @@
+"""Recursive-descent parser for the mini-C subset."""
+
+from __future__ import annotations
+
+from .cast import (CAssign, CBinary, CBlock, CBreak, CCall, CCast, CContinue,
+                   CDecl, CExpr, CExprStmt, CFor, CFunction, CIf, CIndex,
+                   CNum, CParam, CPragmaStmt, CProgram, CReturn, CSizeof,
+                   CStmt, CStr, CTernary, CType, CUnary, CVar, CWhile)
+from .clexer import CToken, CTokKind, ctokenize
+
+_TYPE_WORDS = {"int", "unsigned", "char", "short", "long", "void", "bool",
+               "float", "double", "const", "static", "volatile", "extern",
+               "signed"}
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class CParseError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        self.line = line
+        super().__init__(f"[C-PARSE] {message} (line {line})")
+
+
+class CParser:
+    def __init__(self, source: str):
+        self.toks = ctokenize(source)
+        self.i = 0
+
+    def _peek(self, ahead: int = 0) -> CToken:
+        return self.toks[min(self.i + ahead, len(self.toks) - 1)]
+
+    def _next(self) -> CToken:
+        tok = self.toks[self.i]
+        if tok.kind is not CTokKind.EOF:
+            self.i += 1
+        return tok
+
+    def _at(self, kind: CTokKind, text: str | None = None) -> bool:
+        tok = self._peek()
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: CTokKind, text: str | None = None) -> CToken | None:
+        if self._at(kind, text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: CTokKind, text: str | None = None) -> CToken:
+        tok = self._peek()
+        if not self._at(kind, text):
+            raise CParseError(
+                f"expected '{text or kind.name}', found '{tok.text or 'EOF'}'", tok.line)
+        return self._next()
+
+    # -- types ------------------------------------------------------------------
+
+    def _at_type(self) -> bool:
+        tok = self._peek()
+        return tok.kind is CTokKind.IDENT and tok.text in _TYPE_WORDS
+
+    def _parse_type(self) -> CType:
+        tok = self._peek()
+        words: list[str] = []
+        while self._at_type():
+            words.append(self._next().text)
+        if not words:
+            raise CParseError(f"expected type, found '{tok.text}'", tok.line)
+        core = [w for w in words if w not in
+                ("const", "static", "volatile", "extern", "signed")]
+        if any(w in ("float", "double") for w in core):
+            raise CParseError("floating point is not supported by the mini-C subset",
+                              tok.line)
+        if "void" in core:
+            base = "void"
+        elif "unsigned" in core:
+            base = "unsigned"
+        elif "char" in core:
+            base = "char"
+        elif "bool" in core:
+            base = "bool"
+        else:
+            base = "int"
+        is_pointer = False
+        while self._accept(CTokKind.OP, "*"):
+            is_pointer = True
+        return CType(base, is_pointer=is_pointer)
+
+    # -- program ------------------------------------------------------------------
+
+    def parse_program(self) -> CProgram:
+        program = CProgram()
+        pending_pragmas: list[str] = []
+        while not self._at(CTokKind.EOF):
+            if self._at(CTokKind.PRAGMA):
+                pending_pragmas.append(self._next().text)
+                continue
+            if self._at(CTokKind.IDENT, "struct") or self._at(CTokKind.IDENT, "typedef") \
+                    or self._at(CTokKind.IDENT, "union") or self._at(CTokKind.IDENT, "enum"):
+                tok = self._peek()
+                raise CParseError(
+                    f"'{tok.text}' declarations are not supported by the mini-C subset",
+                    tok.line)
+            ctype = self._parse_type()
+            name_tok = self._expect(CTokKind.IDENT)
+            if self._at(CTokKind.OP, "("):
+                func = self._parse_function(ctype, name_tok,
+                                            tuple(pending_pragmas))
+                pending_pragmas = []
+                if func is not None:
+                    program.add(func)
+            else:
+                decl = self._finish_decl(ctype, name_tok)
+                program.globals.append(decl)
+        return program
+
+    def _parse_function(self, ret: CType, name_tok: CToken,
+                        pragmas: tuple[str, ...]) -> CFunction | None:
+        self._expect(CTokKind.OP, "(")
+        params: list[CParam] = []
+        if not self._at(CTokKind.OP, ")"):
+            while True:
+                if self._at(CTokKind.IDENT, "void") and self._peek(1).text == ")":
+                    self._next()
+                    break
+                ptype = self._parse_type()
+                pname = self._expect(CTokKind.IDENT).text
+                if self._accept(CTokKind.OP, "["):
+                    size = None
+                    if self._at(CTokKind.NUMBER):
+                        size = self._next().value
+                    self._expect(CTokKind.OP, "]")
+                    ptype = CType(ptype.base, is_pointer=False,
+                                  array_size=size if size is not None else -1)
+                params.append(CParam(ptype, pname))
+                if not self._accept(CTokKind.OP, ","):
+                    break
+        self._expect(CTokKind.OP, ")")
+        if self._accept(CTokKind.OP, ";"):
+            return None  # prototype
+        body = self._parse_block()
+        return CFunction(name_tok.text, ret, tuple(params), body,
+                         pragmas, name_tok.line)
+
+    def _finish_decl(self, ctype: CType, name_tok: CToken) -> CDecl:
+        if self._accept(CTokKind.OP, "["):
+            size_tok = self._accept(CTokKind.NUMBER)
+            self._expect(CTokKind.OP, "]")
+            ctype = CType(ctype.base, ctype.is_pointer,
+                          size_tok.value if size_tok else -1)
+        init = None
+        if self._accept(CTokKind.OP, "="):
+            if self._at(CTokKind.OP, "{"):
+                raise CParseError("aggregate initializers are not supported",
+                                  name_tok.line)
+            init = self.parse_expr()
+        self._expect(CTokKind.OP, ";")
+        return CDecl(ctype, name_tok.text, init, name_tok.line)
+
+    # -- statements -----------------------------------------------------------------
+
+    def _parse_block(self) -> CBlock:
+        self._expect(CTokKind.OP, "{")
+        stmts: list[CStmt] = []
+        while not self._at(CTokKind.OP, "}"):
+            if self._at(CTokKind.EOF):
+                raise CParseError("unexpected EOF inside block", self._peek().line)
+            stmts.append(self.parse_stmt())
+        self._expect(CTokKind.OP, "}")
+        return CBlock(tuple(stmts))
+
+    def parse_stmt(self) -> CStmt:
+        tok = self._peek()
+
+        if tok.kind is CTokKind.PRAGMA:
+            self._next()
+            return CPragmaStmt(tok.text, tok.line)
+        if self._at(CTokKind.OP, "{"):
+            return self._parse_block()
+        if self._at(CTokKind.IDENT, "if"):
+            self._next()
+            self._expect(CTokKind.OP, "(")
+            cond = self.parse_expr()
+            self._expect(CTokKind.OP, ")")
+            then = self.parse_stmt()
+            other = None
+            if self._accept(CTokKind.IDENT, "else"):
+                other = self.parse_stmt()
+            return CIf(cond, then, other, tok.line)
+        if self._at(CTokKind.IDENT, "for"):
+            return self._parse_for(tok)
+        if self._at(CTokKind.IDENT, "while"):
+            self._next()
+            self._expect(CTokKind.OP, "(")
+            cond = self.parse_expr()
+            self._expect(CTokKind.OP, ")")
+            pragmas, body = self._body_with_pragmas()
+            return CWhile(cond, body, False, pragmas, tok.line)
+        if self._at(CTokKind.IDENT, "do"):
+            self._next()
+            body = self.parse_stmt()
+            self._expect(CTokKind.IDENT, "while")
+            self._expect(CTokKind.OP, "(")
+            cond = self.parse_expr()
+            self._expect(CTokKind.OP, ")")
+            self._expect(CTokKind.OP, ";")
+            return CWhile(cond, body, True, (), tok.line)
+        if self._at(CTokKind.IDENT, "return"):
+            self._next()
+            value = None
+            if not self._at(CTokKind.OP, ";"):
+                value = self.parse_expr()
+            self._expect(CTokKind.OP, ";")
+            return CReturn(value, tok.line)
+        if self._at(CTokKind.IDENT, "break"):
+            self._next()
+            self._expect(CTokKind.OP, ";")
+            return CBreak(tok.line)
+        if self._at(CTokKind.IDENT, "continue"):
+            self._next()
+            self._expect(CTokKind.OP, ";")
+            return CContinue(tok.line)
+        if self._at(CTokKind.IDENT, "switch") or self._at(CTokKind.IDENT, "goto"):
+            raise CParseError(f"'{tok.text}' is not supported by the mini-C subset",
+                              tok.line)
+        if self._at_type():
+            ctype = self._parse_type()
+            name_tok = self._expect(CTokKind.IDENT)
+            return self._finish_decl(ctype, name_tok)
+
+        expr = self.parse_expr()
+        self._expect(CTokKind.OP, ";")
+        return CExprStmt(expr, tok.line)
+
+    def _body_with_pragmas(self) -> tuple[tuple[str, ...], CStmt]:
+        """Collect pragmas that appear as the first statements of a loop body."""
+        body = self.parse_stmt()
+        pragmas: list[str] = []
+        if isinstance(body, CBlock):
+            rest: list[CStmt] = []
+            for s in body.stmts:
+                if isinstance(s, CPragmaStmt) and not rest:
+                    pragmas.append(s.text)
+                else:
+                    rest.append(s)
+            body = CBlock(tuple(rest))
+        return tuple(pragmas), body
+
+    def _parse_for(self, tok: CToken) -> CFor:
+        self._next()
+        self._expect(CTokKind.OP, "(")
+        init: CStmt | None = None
+        if not self._at(CTokKind.OP, ";"):
+            if self._at_type():
+                ctype = self._parse_type()
+                name_tok = self._expect(CTokKind.IDENT)
+                init_expr = None
+                if self._accept(CTokKind.OP, "="):
+                    init_expr = self.parse_expr()
+                init = CDecl(ctype, name_tok.text, init_expr, name_tok.line)
+                self._expect(CTokKind.OP, ";")
+            else:
+                init = CExprStmt(self.parse_expr(), tok.line)
+                self._expect(CTokKind.OP, ";")
+        else:
+            self._expect(CTokKind.OP, ";")
+        cond = None
+        if not self._at(CTokKind.OP, ";"):
+            cond = self.parse_expr()
+        self._expect(CTokKind.OP, ";")
+        step = None
+        if not self._at(CTokKind.OP, ")"):
+            step = self.parse_expr()
+        self._expect(CTokKind.OP, ")")
+        pragmas, body = self._body_with_pragmas()
+        return CFor(init, cond, step, body, pragmas, tok.line)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def parse_expr(self) -> CExpr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> CExpr:
+        left = self._parse_ternary()
+        tok = self._peek()
+        if tok.kind is CTokKind.OP and tok.text in _ASSIGN_OPS:
+            self._next()
+            value = self._parse_assignment()
+            if not isinstance(left, (CVar, CIndex, CUnary)):
+                raise CParseError("invalid assignment target", tok.line)
+            if isinstance(left, CUnary) and left.op != "*":
+                raise CParseError("invalid assignment target", tok.line)
+            return CAssign(tok.text, left, value, tok.line)
+        return left
+
+    def _parse_ternary(self) -> CExpr:
+        cond = self._parse_binary(1)
+        if self._accept(CTokKind.OP, "?"):
+            if_true = self.parse_expr()
+            self._expect(CTokKind.OP, ":")
+            if_false = self._parse_ternary()
+            return CTernary(cond, if_true, if_false)
+        return cond
+
+    def _parse_binary(self, min_prec: int) -> CExpr:
+        left = self._parse_unary()
+        while True:
+            tok = self._peek()
+            if tok.kind is not CTokKind.OP:
+                return left
+            prec = _PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                return left
+            self._next()
+            right = self._parse_binary(prec + 1)
+            left = CBinary(tok.text, left, right)
+
+    def _parse_unary(self) -> CExpr:
+        tok = self._peek()
+        if tok.kind is CTokKind.OP and tok.text in ("-", "!", "~", "*", "&", "+"):
+            self._next()
+            if tok.text == "+":
+                return self._parse_unary()
+            return CUnary(tok.text, self._parse_unary())
+        if tok.kind is CTokKind.OP and tok.text in ("++", "--"):
+            self._next()
+            return CUnary(tok.text, self._parse_unary())
+        if tok.kind is CTokKind.OP and tok.text == "(":
+            # Cast or parenthesized expression.
+            save = self.i
+            self._next()
+            if self._at_type():
+                ctype = self._parse_type()
+                if self._at(CTokKind.OP, ")"):
+                    self._next()
+                    return CCast(ctype, self._parse_unary())
+            self.i = save
+        if self._at(CTokKind.IDENT, "sizeof"):
+            self._next()
+            self._expect(CTokKind.OP, "(")
+            if self._at_type():
+                ctype = self._parse_type()
+            else:
+                self.parse_expr()
+                ctype = CType("int")
+            self._expect(CTokKind.OP, ")")
+            return CSizeof(ctype)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> CExpr:
+        expr = self._parse_primary()
+        while True:
+            tok = self._peek()
+            if self._accept(CTokKind.OP, "["):
+                index = self.parse_expr()
+                self._expect(CTokKind.OP, "]")
+                expr = CIndex(expr, index, tok.line)
+            elif tok.kind is CTokKind.OP and tok.text in ("++", "--"):
+                self._next()
+                expr = CUnary(tok.text, expr, postfix=True)
+            elif tok.kind is CTokKind.OP and tok.text in (".", "->"):
+                raise CParseError("struct member access is not supported", tok.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> CExpr:
+        tok = self._peek()
+        if tok.kind is CTokKind.NUMBER:
+            self._next()
+            return CNum(tok.value)
+        if tok.kind is CTokKind.CHAR:
+            self._next()
+            return CNum(tok.value)
+        if tok.kind is CTokKind.STRING:
+            self._next()
+            return CStr(tok.value)
+        if self._accept(CTokKind.OP, "("):
+            inner = self.parse_expr()
+            self._expect(CTokKind.OP, ")")
+            return inner
+        if tok.kind is CTokKind.IDENT:
+            self._next()
+            if self._at(CTokKind.OP, "("):
+                self._next()
+                args: list[CExpr] = []
+                while not self._at(CTokKind.OP, ")"):
+                    args.append(self.parse_expr())
+                    if not self._accept(CTokKind.OP, ","):
+                        break
+                self._expect(CTokKind.OP, ")")
+                return CCall(tok.text, tuple(args), tok.line)
+            return CVar(tok.text, tok.line)
+        raise CParseError(f"unexpected token '{tok.text or 'EOF'}'", tok.line)
+
+
+def cparse(source: str) -> CProgram:
+    """Parse mini-C source into a :class:`CProgram`."""
+    return CParser(source).parse_program()

@@ -1,0 +1,158 @@
+"""Pretty-printer: mini-C AST back to compilable source text.
+
+Round-tripping matters because the repair loop is source-to-source: the
+(simulated) LLM edits the AST via repair templates, and the result must be
+re-parseable by the same frontend, exactly like real LLM output would be.
+"""
+
+from __future__ import annotations
+
+from .cast import (CAssign, CBinary, CBlock, CBreak, CCall, CCast, CContinue,
+                   CDecl, CExpr, CExprStmt, CFor, CFunction, CIf, CIndex,
+                   CNum, CParam, CPragmaStmt, CProgram, CReturn, CSizeof,
+                   CStmt, CStr, CTernary, CType, CUnary, CVar, CWhile)
+
+_INDENT = "    "
+
+
+def type_str(ctype: CType) -> str:
+    base = {"unsigned": "unsigned int"}.get(ctype.base, ctype.base)
+    return base + ("*" if ctype.is_pointer else "")
+
+
+def _param_str(param: CParam) -> str:
+    if param.ctype.is_array:
+        size = param.ctype.array_size
+        suffix = f"[{size}]" if size is not None and size >= 0 else "[]"
+        return f"{type_str(CType(param.ctype.base))} {param.name}{suffix}"
+    return f"{type_str(param.ctype)} {param.name}"
+
+
+def expr_str(expr: CExpr) -> str:
+    if isinstance(expr, CNum):
+        return str(expr.value)
+    if isinstance(expr, CStr):
+        escaped = expr.text.replace("\\", "\\\\").replace('"', '\\"') \
+            .replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(expr, CVar):
+        return expr.name
+    if isinstance(expr, CUnary):
+        inner = expr_str(expr.operand)
+        if expr.op in ("++", "--"):
+            return f"{inner}{expr.op}" if expr.postfix else f"{expr.op}{inner}"
+        return f"{expr.op}({inner})" if isinstance(
+            expr.operand, (CBinary, CTernary, CAssign)) else f"{expr.op}{inner}"
+    if isinstance(expr, CBinary):
+        return f"({expr_str(expr.left)} {expr.op} {expr_str(expr.right)})"
+    if isinstance(expr, CTernary):
+        return (f"({expr_str(expr.cond)} ? {expr_str(expr.if_true)} : "
+                f"{expr_str(expr.if_false)})")
+    if isinstance(expr, CAssign):
+        return f"{expr_str(expr.target)} {expr.op} {expr_str(expr.value)}"
+    if isinstance(expr, CIndex):
+        return f"{expr_str(expr.base)}[{expr_str(expr.index)}]"
+    if isinstance(expr, CCall):
+        args = ", ".join(expr_str(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, CCast):
+        return f"({type_str(expr.ctype)})({expr_str(expr.operand)})"
+    if isinstance(expr, CSizeof):
+        return f"sizeof({type_str(expr.ctype)})"
+    raise TypeError(f"cannot print {type(expr).__name__}")
+
+
+def stmt_lines(stmt: CStmt, depth: int = 0) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, CBlock):
+        lines = [pad + "{"]
+        for s in stmt.stmts:
+            lines.extend(stmt_lines(s, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, CDecl):
+        if stmt.ctype.is_array:
+            size = stmt.ctype.array_size
+            suffix = f"[{size}]" if size is not None and size >= 0 else "[]"
+            return [f"{pad}{type_str(CType(stmt.ctype.base))} {stmt.name}{suffix};"]
+        init = f" = {expr_str(stmt.init)}" if stmt.init is not None else ""
+        return [f"{pad}{type_str(stmt.ctype)} {stmt.name}{init};"]
+    if isinstance(stmt, CExprStmt):
+        return [f"{pad}{expr_str(stmt.expr)};"]
+    if isinstance(stmt, CIf):
+        lines = [f"{pad}if ({expr_str(stmt.cond)})"]
+        lines.extend(_branch_lines(stmt.then, depth))
+        if stmt.other is not None:
+            lines.append(f"{pad}else")
+            lines.extend(_branch_lines(stmt.other, depth))
+        return lines
+    if isinstance(stmt, CFor):
+        init = ""
+        if isinstance(stmt.init, CDecl):
+            init = stmt_lines(stmt.init, 0)[0].rstrip(";")
+        elif isinstance(stmt.init, CExprStmt):
+            init = expr_str(stmt.init.expr)
+        cond = expr_str(stmt.cond) if stmt.cond is not None else ""
+        step = expr_str(stmt.step) if stmt.step is not None else ""
+        lines = [f"{pad}for ({init}; {cond}; {step})", pad + "{"]
+        for pragma in stmt.pragmas:
+            lines.append(f"{_INDENT * (depth + 1)}{pragma}")
+        body = stmt.body
+        inner = body.stmts if isinstance(body, CBlock) else (body,)
+        for s in inner:
+            lines.extend(stmt_lines(s, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, CWhile):
+        if stmt.do_while:
+            lines = [pad + "do", pad + "{"]
+            inner = stmt.body.stmts if isinstance(stmt.body, CBlock) else (stmt.body,)
+            for s in inner:
+                lines.extend(stmt_lines(s, depth + 1))
+            lines.append(f"{pad}}} while ({expr_str(stmt.cond)});")
+            return lines
+        lines = [f"{pad}while ({expr_str(stmt.cond)})", pad + "{"]
+        for pragma in stmt.pragmas:
+            lines.append(f"{_INDENT * (depth + 1)}{pragma}")
+        inner = stmt.body.stmts if isinstance(stmt.body, CBlock) else (stmt.body,)
+        for s in inner:
+            lines.extend(stmt_lines(s, depth + 1))
+        lines.append(pad + "}")
+        return lines
+    if isinstance(stmt, CReturn):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [f"{pad}return {expr_str(stmt.value)};"]
+    if isinstance(stmt, CBreak):
+        return [pad + "break;"]
+    if isinstance(stmt, CContinue):
+        return [pad + "continue;"]
+    if isinstance(stmt, CPragmaStmt):
+        return [pad + stmt.text]
+    raise TypeError(f"cannot print {type(stmt).__name__}")
+
+
+def _branch_lines(stmt: CStmt, depth: int) -> list[str]:
+    if isinstance(stmt, CBlock):
+        return stmt_lines(stmt, depth)
+    return stmt_lines(stmt, depth + 1)
+
+
+def function_str(func: CFunction) -> str:
+    params = ", ".join(_param_str(p) for p in func.params) or "void"
+    lines: list[str] = []
+    for pragma in func.pragmas:
+        lines.append(pragma)
+    lines.append(f"{type_str(func.ret)} {func.name}({params})")
+    lines.extend(stmt_lines(func.body, 0))
+    return "\n".join(lines)
+
+
+def program_str(program: CProgram) -> str:
+    parts: list[str] = []
+    for decl in program.globals:
+        parts.extend(stmt_lines(decl, 0))
+    for func in program.functions.values():
+        parts.append(function_str(func))
+        parts.append("")
+    return "\n".join(parts)

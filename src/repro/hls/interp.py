@@ -1,0 +1,689 @@
+"""Interpreter for the mini-C subset, with CPU and FPGA execution modes.
+
+The two modes are the heart of the HLSTester reproduction (Fig. 3): the same
+program can behave differently after HLS because of
+
+* **customized bit widths** — FPGA variables may be narrower than CPU ints,
+  so arithmetic overflows where the CPU does not; and
+* **pipeline hazards** — a loop marked ``#pragma HLS pipeline`` may read
+  loop-carried scalars one iteration stale when the schedule ignores a
+  feedback dependency.
+
+:class:`Machine` exposes both as configuration, so the tester can diff CPU
+behaviour against FPGA behaviour on identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cast import (CAssign, CBinary, CBlock, CBreak, CCall, CCast, CContinue,
+                   CDecl, CExpr, CExprStmt, CFor, CFunction, CIf, CIndex,
+                   CNum, CPragmaStmt, CProgram, CReturn, CSizeof, CStmt,
+                   CStr, CTernary, CType, CUnary, CVar, CWhile)
+
+
+class CRuntimeError(Exception):
+    def __init__(self, kind: str, message: str, line: int = 0):
+        self.kind = kind
+        self.line = line
+        super().__init__(f"[C-RUN:{kind}] {message} (line {line})")
+
+
+@dataclass
+class Pointer:
+    """A pointer into a heap block or array storage."""
+
+    block: list
+    offset: int = 0
+    freed: bool = False
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+def _width_of(ctype: CType) -> int:
+    return {"char": 8, "bool": 1}.get(ctype.base, 32)
+
+
+def _wrap(value: int, width: int, signed: bool) -> int:
+    mask = (1 << width) - 1
+    value &= mask
+    if signed and value & (1 << (width - 1)):
+        value -= 1 << width
+    return value
+
+
+@dataclass
+class TraceEvent:
+    """One observed execution event, consumed by spectra collection."""
+
+    kind: str          # 'line' | 'assign' | 'branch' | 'call'
+    line: int
+    name: str = ""
+    value: int | None = None
+
+
+@dataclass
+class ExecutionResult:
+    value: int | None
+    output: list[str] = field(default_factory=list)
+    steps: int = 0
+    trace: list[TraceEvent] = field(default_factory=list)
+    heap_blocks_leaked: int = 0
+
+
+class Machine:
+    """Executes mini-C programs.
+
+    Parameters
+    ----------
+    mode:
+        ``"cpu"`` — faithful 32-bit execution; ``"fpga"`` — apply
+        ``width_overrides`` and pipeline-hazard semantics.
+    width_overrides:
+        variable name → bit width (FPGA custom bit widths).
+    pipeline_hazard:
+        when true, loops carrying a ``#pragma HLS pipeline`` read
+        loop-carried scalars one iteration stale.
+    trace:
+        record :class:`TraceEvent` stream (needed for spectra collection).
+    """
+
+    MAX_STEPS = 2_000_000
+    MAX_DEPTH = 128
+
+    def __init__(self, program: CProgram, mode: str = "cpu",
+                 width_overrides: dict[str, int] | None = None,
+                 pipeline_hazard: bool = False,
+                 trace: bool = False,
+                 max_steps: int | None = None):
+        if mode not in ("cpu", "fpga"):
+            raise ValueError(f"unknown mode '{mode}'")
+        self.program = program
+        self.mode = mode
+        self.width_overrides = width_overrides or {}
+        self.pipeline_hazard = pipeline_hazard and mode == "fpga"
+        self.trace_enabled = trace
+        self.max_steps = max_steps or self.MAX_STEPS
+        self.steps = 0
+        self.depth = 0
+        self.output: list[str] = []
+        self.trace: list[TraceEvent] = []
+        self.live_heap = 0
+        self._globals: dict[str, object] = {}
+        for decl in program.globals:
+            self._globals[decl.name] = self._default_value(decl.ctype)
+
+    # -- public API ---------------------------------------------------------------
+
+    def call(self, name: str, *args) -> ExecutionResult:
+        """Call a function with Python ints / lists (arrays) as arguments."""
+        self.steps = 0
+        self.output = []
+        self.trace = []
+        func = self.program.function(name)
+        converted: list[object] = []
+        for param, arg in zip(func.params, args):
+            if param.ctype.is_array or param.ctype.is_pointer:
+                if not isinstance(arg, list):
+                    raise TypeError(f"argument '{param.name}' expects a list")
+                converted.append(Pointer(arg))
+            else:
+                converted.append(int(arg))
+        value = self._call_function(func, converted)
+        return ExecutionResult(value=value, output=list(self.output),
+                               steps=self.steps, trace=list(self.trace),
+                               heap_blocks_leaked=self.live_heap)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _default_value(self, ctype: CType):
+        if ctype.is_array:
+            size = ctype.array_size if ctype.array_size and ctype.array_size > 0 else 1
+            return Pointer([0] * size)
+        if ctype.is_pointer:
+            return Pointer([], 0, freed=True)  # null-ish
+        return 0
+
+    def _tick(self, line: int = 0) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise CRuntimeError("timeout",
+                                f"exceeded {self.max_steps} execution steps "
+                                f"(unbounded loop?)", line)
+
+    def _emit(self, kind: str, line: int, name: str = "",
+              value: int | None = None) -> None:
+        if self.trace_enabled:
+            self.trace.append(TraceEvent(kind, line, name, value))
+
+    def _var_width(self, name: str, ctype: CType | None) -> tuple[int, bool]:
+        if self.mode == "fpga" and name in self.width_overrides:
+            return self.width_overrides[name], True
+        if ctype is None:
+            return 32, True
+        return _width_of(ctype), ctype.base not in ("unsigned", "bool")
+
+    # -- function invocation ---------------------------------------------------------------
+
+    def _call_function(self, func: CFunction, args: list[object]):
+        if len(args) != len(func.params):
+            raise CRuntimeError("arity",
+                                f"'{func.name}' expects {len(func.params)} args, "
+                                f"got {len(args)}", func.line)
+        self.depth += 1
+        if self.depth > self.MAX_DEPTH:
+            self.depth -= 1
+            raise CRuntimeError("stack", f"recursion too deep in '{func.name}'",
+                                func.line)
+        env: dict[str, object] = {}
+        types: dict[str, CType] = {}
+        for param, arg in zip(func.params, args):
+            env[param.name] = arg
+            types[param.name] = param.ctype
+        self._emit("call", func.line, func.name)
+        try:
+            self._exec_stmt(func.body, env, types)
+        except _Return as ret:
+            return ret.value
+        finally:
+            self.depth -= 1
+        return None
+
+    # -- statements ------------------------------------------------------------------------------
+
+    def _exec_stmt(self, stmt: CStmt, env: dict, types: dict) -> None:
+        if isinstance(stmt, CBlock):
+            for s in stmt.stmts:
+                self._exec_stmt(s, env, types)
+        elif isinstance(stmt, CDecl):
+            self._tick(stmt.line)
+            self._emit("line", stmt.line)
+            if stmt.ctype.is_array:
+                size = stmt.ctype.array_size
+                if size is None or size < 0:
+                    raise CRuntimeError("decl",
+                                        f"array '{stmt.name}' has no constant size",
+                                        stmt.line)
+                env[stmt.name] = Pointer([0] * size)
+            elif stmt.init is not None:
+                value = self._eval(stmt.init, env, types)
+                if isinstance(value, Pointer):
+                    env[stmt.name] = value
+                else:
+                    width, signed = self._var_width(stmt.name, stmt.ctype)
+                    env[stmt.name] = _wrap(int(value), width, signed)
+            else:
+                env[stmt.name] = self._default_value(stmt.ctype)
+            types[stmt.name] = stmt.ctype
+        elif isinstance(stmt, CExprStmt):
+            self._tick(stmt.line)
+            self._emit("line", stmt.line)
+            self._eval(stmt.expr, env, types)
+        elif isinstance(stmt, CIf):
+            self._tick(stmt.line)
+            cond = self._as_int(self._eval(stmt.cond, env, types), stmt.line)
+            self._emit("branch", stmt.line, value=1 if cond else 0)
+            if cond:
+                self._exec_stmt(stmt.then, env, types)
+            elif stmt.other is not None:
+                self._exec_stmt(stmt.other, env, types)
+        elif isinstance(stmt, CFor):
+            self._exec_for(stmt, env, types)
+        elif isinstance(stmt, CWhile):
+            self._exec_while(stmt, env, types)
+        elif isinstance(stmt, CReturn):
+            self._tick(stmt.line)
+            self._emit("line", stmt.line)
+            value = None
+            if stmt.value is not None:
+                value = self._eval(stmt.value, env, types)
+            raise _Return(value)
+        elif isinstance(stmt, CBreak):
+            raise _Break()
+        elif isinstance(stmt, CContinue):
+            raise _Continue()
+        elif isinstance(stmt, CPragmaStmt):
+            pass
+        else:
+            raise CRuntimeError("exec", f"cannot execute {type(stmt).__name__}")
+
+    def _loop_is_pipelined(self, pragmas: tuple[str, ...]) -> bool:
+        return any("pipeline" in p.lower() for p in pragmas)
+
+    def _carried_vars(self, body: CStmt) -> set[str]:
+        """Scalars both read and written in the loop body (loop-carried)."""
+        reads: set[str] = set()
+        writes: set[str] = set()
+        self._collect_rw(body, reads, writes)
+        return reads & writes
+
+    def _collect_rw(self, node, reads: set[str], writes: set[str]) -> None:
+        if isinstance(node, CBlock):
+            for s in node.stmts:
+                self._collect_rw(s, reads, writes)
+        elif isinstance(node, (CIf,)):
+            self._collect_rw_expr(node.cond, reads)
+            self._collect_rw(node.then, reads, writes)
+            if node.other is not None:
+                self._collect_rw(node.other, reads, writes)
+        elif isinstance(node, (CFor,)):
+            for part in (node.init, node.body):
+                if part is not None:
+                    self._collect_rw(part, reads, writes)
+            for part in (node.cond, node.step):
+                if part is not None:
+                    self._collect_rw_expr(part, reads)
+        elif isinstance(node, CWhile):
+            self._collect_rw_expr(node.cond, reads)
+            self._collect_rw(node.body, reads, writes)
+        elif isinstance(node, CExprStmt):
+            self._collect_rw_expr(node.expr, reads, writes)
+        elif isinstance(node, CDecl) and node.init is not None:
+            self._collect_rw_expr(node.init, reads)
+            writes.add(node.name)
+        elif isinstance(node, CReturn) and node.value is not None:
+            self._collect_rw_expr(node.value, reads)
+
+    def _collect_rw_expr(self, expr: CExpr, reads: set[str],
+                         writes: set[str] | None = None) -> None:
+        if isinstance(expr, CVar):
+            reads.add(expr.name)
+        elif isinstance(expr, CAssign):
+            if isinstance(expr.target, CVar) and writes is not None:
+                writes.add(expr.target.name)
+                if expr.op != "=":
+                    reads.add(expr.target.name)
+            else:
+                self._collect_rw_expr(expr.target, reads)
+            self._collect_rw_expr(expr.value, reads, writes)
+        elif isinstance(expr, CUnary):
+            if expr.op in ("++", "--") and isinstance(expr.operand, CVar):
+                reads.add(expr.operand.name)
+                if writes is not None:
+                    writes.add(expr.operand.name)
+            else:
+                self._collect_rw_expr(expr.operand, reads, writes)
+        elif isinstance(expr, CBinary):
+            self._collect_rw_expr(expr.left, reads, writes)
+            self._collect_rw_expr(expr.right, reads, writes)
+        elif isinstance(expr, CTernary):
+            for e in (expr.cond, expr.if_true, expr.if_false):
+                self._collect_rw_expr(e, reads, writes)
+        elif isinstance(expr, CIndex):
+            self._collect_rw_expr(expr.base, reads)
+            self._collect_rw_expr(expr.index, reads, writes)
+        elif isinstance(expr, CCall):
+            for a in expr.args:
+                self._collect_rw_expr(a, reads, writes)
+        elif isinstance(expr, CCast):
+            self._collect_rw_expr(expr.operand, reads, writes)
+
+    def _exec_for(self, stmt: CFor, env: dict, types: dict) -> None:
+        if stmt.init is not None:
+            self._exec_stmt(stmt.init, env, types)
+        hazard = self.pipeline_hazard and self._loop_is_pipelined(stmt.pragmas)
+        carried = self._carried_vars(stmt.body) if hazard else set()
+        stale: dict[str, object] = {}
+        while True:
+            self._tick(stmt.line)
+            if stmt.cond is not None:
+                if not self._as_int(self._eval(stmt.cond, env, types), stmt.line):
+                    break
+            snapshot = {v: env.get(v) for v in carried if v in env}
+            if hazard and stale:
+                exec_env = _HazardEnv(env, {v: stale[v] for v in carried
+                                            if v in stale})
+            else:
+                exec_env = env
+            try:
+                self._exec_stmt(stmt.body, exec_env, types)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            stale = snapshot
+            if stmt.step is not None:
+                self._eval(stmt.step, env, types)
+
+    def _exec_while(self, stmt: CWhile, env: dict, types: dict) -> None:
+        first = True
+        while True:
+            self._tick(stmt.line)
+            if not stmt.do_while or not first:
+                if not self._as_int(self._eval(stmt.cond, env, types), stmt.line):
+                    break
+            elif stmt.do_while and first:
+                pass
+            try:
+                self._exec_stmt(stmt.body, env, types)
+            except _Break:
+                break
+            except _Continue:
+                pass
+            if stmt.do_while and first:
+                first = False
+                if not self._as_int(self._eval(stmt.cond, env, types), stmt.line):
+                    break
+
+    # -- expressions -------------------------------------------------------------------------------
+
+    def _as_int(self, value, line: int) -> int:
+        if isinstance(value, Pointer):
+            return 0 if value.freed and not value.block else 1
+        if value is None:
+            raise CRuntimeError("value", "void value used in expression", line)
+        return int(value)
+
+    def _eval(self, expr: CExpr, env: dict, types: dict):
+        self._tick()
+        if isinstance(expr, CNum):
+            return expr.value
+        if isinstance(expr, CStr):
+            return expr.text
+        if isinstance(expr, CVar):
+            if expr.name in env:
+                return env[expr.name]
+            if expr.name in self._globals:
+                return self._globals[expr.name]
+            if expr.name == "NULL":
+                return Pointer([], 0, freed=True)
+            raise CRuntimeError("name", f"undefined variable '{expr.name}'", expr.line)
+        if isinstance(expr, CAssign):
+            return self._eval_assign(expr, env, types)
+        if isinstance(expr, CUnary):
+            return self._eval_unary(expr, env, types)
+        if isinstance(expr, CBinary):
+            return self._eval_binary(expr, env, types)
+        if isinstance(expr, CTernary):
+            cond = self._as_int(self._eval(expr.cond, env, types), 0)
+            return self._eval(expr.if_true if cond else expr.if_false, env, types)
+        if isinstance(expr, CIndex):
+            ptr, idx = self._index_parts(expr, env, types)
+            return ptr.block[ptr.offset + idx]
+        if isinstance(expr, CCall):
+            return self._eval_call(expr, env, types)
+        if isinstance(expr, CCast):
+            value = self._eval(expr.operand, env, types)
+            if isinstance(value, Pointer):
+                return value
+            width = _width_of(expr.ctype)
+            return _wrap(int(value), width, expr.ctype.base != "unsigned")
+        if isinstance(expr, CSizeof):
+            return 1 if expr.ctype.base in ("char", "bool") else 4
+        raise CRuntimeError("eval", f"cannot evaluate {type(expr).__name__}")
+
+    def _index_parts(self, expr: CIndex, env: dict, types: dict) -> tuple[Pointer, int]:
+        base = self._eval(expr.base, env, types)
+        if not isinstance(base, Pointer):
+            raise CRuntimeError("deref", "indexing a non-array value", expr.line)
+        if base.freed:
+            raise CRuntimeError("useafterfree", "access to freed/null memory",
+                                expr.line)
+        idx = self._as_int(self._eval(expr.index, env, types), expr.line)
+        pos = base.offset + idx
+        if pos < 0 or pos >= len(base.block):
+            raise CRuntimeError("bounds",
+                                f"index {idx} out of bounds (size {len(base.block)})",
+                                expr.line)
+        return base, idx
+
+    def _store_var(self, name: str, value, env: dict, types: dict, line: int):
+        if isinstance(value, Pointer):
+            env[name] = value
+            return value
+        width, signed = self._var_width(name, types.get(name))
+        wrapped = _wrap(int(value), width, signed)
+        if isinstance(env, _HazardEnv):
+            env.store(name, wrapped)
+        else:
+            env[name] = wrapped
+        self._emit("assign", line, name, wrapped)
+        return wrapped
+
+    def _eval_assign(self, expr: CAssign, env: dict, types: dict):
+        value = self._eval(expr.value, env, types)
+        if expr.op != "=":
+            binop = expr.op[:-1]
+            current = self._eval(expr.target, env, types)
+            value = self._apply_binop(binop, self._as_int(current, expr.line),
+                                      self._as_int(value, expr.line), expr.line)
+        if isinstance(expr.target, CVar):
+            return self._store_var(expr.target.name, value, env, types, expr.line)
+        if isinstance(expr.target, CIndex):
+            ptr, idx = self._index_parts(expr.target, env, types)
+            stored = _wrap(int(value), 32, True) if not isinstance(value, Pointer) \
+                else value
+            ptr.block[ptr.offset + idx] = stored
+            self._emit("assign", expr.line, "<mem>",
+                       stored if isinstance(stored, int) else None)
+            return stored
+        if isinstance(expr.target, CUnary) and expr.target.op == "*":
+            ptr = self._eval(expr.target.operand, env, types)
+            if not isinstance(ptr, Pointer) or ptr.freed:
+                raise CRuntimeError("deref", "write through invalid pointer",
+                                    expr.line)
+            if ptr.offset >= len(ptr.block):
+                raise CRuntimeError("bounds", "pointer write out of bounds",
+                                    expr.line)
+            ptr.block[ptr.offset] = _wrap(int(value), 32, True)
+            return ptr.block[ptr.offset]
+        raise CRuntimeError("assign", "unsupported assignment target", expr.line)
+
+    def _eval_unary(self, expr: CUnary, env: dict, types: dict):
+        if expr.op in ("++", "--"):
+            if not isinstance(expr.operand, CVar):
+                raise CRuntimeError("assign", "++/-- needs a variable", 0)
+            name = expr.operand.name
+            old = self._as_int(self._eval(expr.operand, env, types), 0)
+            new = old + (1 if expr.op == "++" else -1)
+            self._store_var(name, new, env, types, 0)
+            return old if expr.postfix else _wrap(new, 32, True)
+        value = self._eval(expr.operand, env, types)
+        if expr.op == "*":
+            if not isinstance(value, Pointer):
+                raise CRuntimeError("deref", "dereferencing a non-pointer", 0)
+            if value.freed:
+                raise CRuntimeError("useafterfree", "read through freed pointer", 0)
+            if value.offset >= len(value.block):
+                raise CRuntimeError("bounds", "pointer read out of bounds", 0)
+            return value.block[value.offset]
+        if expr.op == "&":
+            if isinstance(value, Pointer):
+                return value
+            raise CRuntimeError("addr", "address-of scalar locals is not supported "
+                                "by the mini-C subset", 0)
+        iv = self._as_int(value, 0)
+        if expr.op == "-":
+            return _wrap(-iv, 32, True)
+        if expr.op == "~":
+            return _wrap(~iv, 32, True)
+        if expr.op == "!":
+            return 0 if iv else 1
+        raise CRuntimeError("eval", f"unary '{expr.op}' unsupported", 0)
+
+    def _apply_binop(self, op: str, a: int, b: int, line: int) -> int:
+        if op == "+":
+            return _wrap(a + b, 32, True)
+        if op == "-":
+            return _wrap(a - b, 32, True)
+        if op == "*":
+            return _wrap(a * b, 32, True)
+        if op in ("/", "%"):
+            if b == 0:
+                raise CRuntimeError("divzero", "division by zero", line)
+            q = abs(a) // abs(b)
+            if (a < 0) != (b < 0):
+                q = -q
+            if op == "/":
+                return _wrap(q, 32, True)
+            return _wrap(a - q * b, 32, True)
+        if op == "<<":
+            return _wrap(a << (b & 31), 32, True)
+        if op == ">>":
+            return _wrap(a >> (b & 31), 32, True)
+        if op == "&":
+            return _wrap(a & b, 32, True)
+        if op == "|":
+            return _wrap(a | b, 32, True)
+        if op == "^":
+            return _wrap(a ^ b, 32, True)
+        if op == "==":
+            return int(a == b)
+        if op == "!=":
+            return int(a != b)
+        if op == "<":
+            return int(a < b)
+        if op == "<=":
+            return int(a <= b)
+        if op == ">":
+            return int(a > b)
+        if op == ">=":
+            return int(a >= b)
+        raise CRuntimeError("eval", f"binary '{op}' unsupported", line)
+
+    def _eval_binary(self, expr: CBinary, env: dict, types: dict):
+        if expr.op == "&&":
+            left = self._as_int(self._eval(expr.left, env, types), 0)
+            if not left:
+                return 0
+            return 1 if self._as_int(self._eval(expr.right, env, types), 0) else 0
+        if expr.op == "||":
+            left = self._as_int(self._eval(expr.left, env, types), 0)
+            if left:
+                return 1
+            return 1 if self._as_int(self._eval(expr.right, env, types), 0) else 0
+        a = self._eval(expr.left, env, types)
+        b = self._eval(expr.right, env, types)
+        if isinstance(a, Pointer) and isinstance(b, int):
+            return Pointer(a.block, a.offset + b, a.freed)
+        if isinstance(a, int) and isinstance(b, Pointer):
+            return Pointer(b.block, b.offset + a, b.freed)
+        return self._apply_binop(expr.op, self._as_int(a, 0), self._as_int(b, 0), 0)
+
+    def _eval_call(self, expr: CCall, env: dict, types: dict):
+        name = expr.func
+        if name == "malloc":
+            size = self._as_int(self._eval(expr.args[0], env, types), expr.line)
+            count = max(0, size // 4) or max(0, size)
+            self.live_heap += 1
+            return Pointer([0] * count)
+        if name == "calloc":
+            n = self._as_int(self._eval(expr.args[0], env, types), expr.line)
+            self.live_heap += 1
+            return Pointer([0] * max(0, n))
+        if name == "free":
+            ptr = self._eval(expr.args[0], env, types)
+            if isinstance(ptr, Pointer):
+                if ptr.freed:
+                    raise CRuntimeError("doublefree", "double free", expr.line)
+                ptr.freed = True
+                self.live_heap = max(0, self.live_heap - 1)
+            return None
+        if name == "printf":
+            self._do_printf(expr.args, env, types)
+            return 0
+        if name in ("abs",):
+            v = self._as_int(self._eval(expr.args[0], env, types), expr.line)
+            return _wrap(abs(v), 32, True)
+        if name in ("min", "max"):
+            a = self._as_int(self._eval(expr.args[0], env, types), expr.line)
+            b = self._as_int(self._eval(expr.args[1], env, types), expr.line)
+            return min(a, b) if name == "min" else max(a, b)
+        if name in ("assert",):
+            v = self._as_int(self._eval(expr.args[0], env, types), expr.line)
+            if not v:
+                raise CRuntimeError("assert", "assertion failed", expr.line)
+            return 0
+        if name == "exit":
+            raise _Return(self._as_int(self._eval(expr.args[0], env, types),
+                                       expr.line) if expr.args else 0)
+        if name in self.program.functions:
+            args = [self._eval(a, env, types) for a in expr.args]
+            return self._call_function(self.program.functions[name], args)
+        raise CRuntimeError("call", f"call to undefined function '{name}'",
+                            expr.line)
+
+    def _do_printf(self, args: tuple[CExpr, ...], env: dict, types: dict) -> None:
+        if not args:
+            return
+        fmt = self._eval(args[0], env, types)
+        if not isinstance(fmt, str):
+            self.output.append(str(fmt))
+            return
+        values = [self._eval(a, env, types) for a in args[1:]]
+        out: list[str] = []
+        i = 0
+        vi = 0
+        while i < len(fmt):
+            ch = fmt[i]
+            if ch == "%" and i + 1 < len(fmt):
+                j = i + 1
+                while j < len(fmt) and fmt[j] in "0123456789.-+l":
+                    j += 1
+                spec = fmt[j] if j < len(fmt) else "%"
+                i = j + 1
+                if spec == "%":
+                    out.append("%")
+                    continue
+                value = values[vi] if vi < len(values) else 0
+                vi += 1
+                if isinstance(value, Pointer):
+                    out.append(f"<ptr+{value.offset}>")
+                elif spec in ("d", "i", "u", "ld"):
+                    out.append(str(value))
+                elif spec == "x":
+                    out.append(f"{int(value) & 0xFFFFFFFF:x}")
+                elif spec == "c":
+                    out.append(chr(int(value) & 0xFF))
+                elif spec == "s":
+                    out.append(str(value))
+                else:
+                    out.append(str(value))
+            else:
+                out.append(ch)
+                i += 1
+        text = "".join(out)
+        for line in text.split("\n"):
+            if line:
+                self.output.append(line)
+
+
+class _HazardEnv(dict):
+    """Environment overlay: reads of stale vars see previous-iteration values,
+    writes land in the real environment."""
+
+    def __init__(self, real: dict, stale: dict):
+        super().__init__()
+        self.real = real
+        self.stale = stale
+
+    def __getitem__(self, key):
+        if key in self.stale:
+            return self.stale[key]
+        return self.real[key]
+
+    def __setitem__(self, key, value):
+        self.real[key] = value
+
+    def store(self, key, value):
+        self.real[key] = value
+
+    def __contains__(self, key):
+        return key in self.real or key in self.stale
+
+    def get(self, key, default=None):
+        if key in self:
+            return self[key]
+        return default

@@ -1,0 +1,147 @@
+"""Parsing and representation of ``#pragma HLS`` directives.
+
+The PPA-optimization stage of the repair loop (Fig. 2 stage 4) works by
+editing these pragmas and re-estimating the schedule, exactly like the
+paper's "LLM optimizes code segments with performance bottlenecks by
+adjusting pragmas".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass
+
+from .cast import CBlock, CFor, CFunction, CProgram, CStmt, CWhile
+from .transforms import rewrite_function
+
+
+@dataclass(frozen=True)
+class HlsPragma:
+    kind: str                   # 'pipeline' | 'unroll' | 'array_partition' | ...
+    options: tuple[tuple[str, str], ...] = ()
+    raw: str = ""
+
+    def option(self, name: str, default: str | None = None) -> str | None:
+        for key, value in self.options:
+            if key == name:
+                return value
+        return default
+
+    def int_option(self, name: str, default: int) -> int:
+        value = self.option(name)
+        if value is None:
+            return default
+        try:
+            return int(value)
+        except ValueError:
+            return default
+
+
+_PRAGMA_RE = re.compile(r"#\s*pragma\s+HLS\s+(\w+)(.*)", re.IGNORECASE)
+
+
+def parse_pragma(text: str) -> HlsPragma | None:
+    """Parse one ``#pragma HLS ...`` line; returns None for non-HLS pragmas."""
+    m = _PRAGMA_RE.match(text.strip())
+    if m is None:
+        return None
+    kind = m.group(1).lower()
+    opts: list[tuple[str, str]] = []
+    for token in m.group(2).split():
+        if "=" in token:
+            key, _, value = token.partition("=")
+            opts.append((key.lower(), value))
+        else:
+            opts.append((token.lower(), "1"))
+    return HlsPragma(kind, tuple(opts), text.strip())
+
+
+def loop_pragmas(pragmas: tuple[str, ...]) -> list[HlsPragma]:
+    out: list[HlsPragma] = []
+    for text in pragmas:
+        parsed = parse_pragma(text)
+        if parsed is not None:
+            out.append(parsed)
+    return out
+
+
+def pipeline_ii(pragmas: tuple[str, ...]) -> int | None:
+    """The initiation interval if the loop is pipelined, else None."""
+    for pragma in loop_pragmas(pragmas):
+        if pragma.kind == "pipeline":
+            return pragma.int_option("ii", 1)
+    return None
+
+
+def unroll_factor(pragmas: tuple[str, ...]) -> int:
+    for pragma in loop_pragmas(pragmas):
+        if pragma.kind == "unroll":
+            return max(1, pragma.int_option("factor", 0) or 1 << 20)  # full unroll
+    return 1
+
+
+# --------------------------------------------------------------------------
+# Pragma editing (the optimizer's move set)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoopSite:
+    """Addressable location of one loop inside a function (path of child
+    indices through the statement tree)."""
+
+    function: str
+    path: tuple[int, ...]
+
+    def __str__(self) -> str:
+        return f"{self.function}:loop@{'/'.join(map(str, self.path))}"
+
+
+def find_loops(func: CFunction) -> list[tuple[LoopSite, CStmt]]:
+    """All for/while loops in a function, with their addressable sites."""
+    sites: list[tuple[LoopSite, CStmt]] = []
+
+    def walk(stmt: CStmt, path: tuple[int, ...]) -> None:
+        if isinstance(stmt, CBlock):
+            for i, s in enumerate(stmt.stmts):
+                walk(s, path + (i,))
+        elif isinstance(stmt, (CFor, CWhile)):
+            sites.append((LoopSite(func.name, path), stmt))
+            walk(stmt.body, path + (0,))
+        elif hasattr(stmt, "then"):
+            walk(stmt.then, path + (0,))
+            if getattr(stmt, "other", None) is not None:
+                walk(stmt.other, path + (1,))
+
+    walk(func.body, ())
+    return sites
+
+
+def set_loop_pragmas(program: CProgram, site: LoopSite,
+                     pragmas: tuple[str, ...]) -> CProgram:
+    """Return a program copy with the loop at ``site`` carrying ``pragmas``."""
+
+    def edit(func: CFunction) -> CFunction:
+        def walk(stmt: CStmt, path: tuple[int, ...]):
+            if isinstance(stmt, CBlock):
+                return CBlock(tuple(walk(s, path + (i,))
+                                    for i, s in enumerate(stmt.stmts)))
+            if isinstance(stmt, (CFor, CWhile)):
+                if path == site.path:
+                    return dataclasses.replace(stmt, pragmas=pragmas)
+                body = walk(stmt.body, path + (0,))
+                return dataclasses.replace(stmt, body=body)
+            if hasattr(stmt, "then"):
+                then = walk(stmt.then, path + (0,))
+                other = getattr(stmt, "other", None)
+                if other is not None:
+                    other = walk(other, path + (1,))
+                return dataclasses.replace(stmt, then=then, other=other)
+            return stmt
+
+        body = walk(func.body, ())
+        assert isinstance(body, CBlock)
+        return dataclasses.replace(func, body=body)
+
+    return rewrite_function(program, site.function, edit)

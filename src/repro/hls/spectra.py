@@ -1,0 +1,94 @@
+"""Execution spectra — stage 3 of HLSTester (Fig. 3).
+
+A *spectrum* summarizes one execution: which branches fired, and which value
+buckets each key variable visited.  Two test inputs with identical spectra
+exercise the kernel identically, so running the second one through (slow)
+hardware simulation is redundant — that is exactly the redundancy-filtering
+insight of stage 5.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .interp import ExecutionResult, TraceEvent
+
+
+def _bucket(value: int) -> str:
+    """Coarse magnitude/sign bucket for a variable value.
+
+    Buckets are chosen so width-overflow behaviour changes the bucket: values
+    near power-of-two boundaries land in distinct buckets.
+    """
+    if value == 0:
+        return "zero"
+    sign = "n" if value < 0 else "p"
+    magnitude = abs(value)
+    bits = magnitude.bit_length()
+    near_boundary = magnitude in ((1 << bits) - 1, 1 << (bits - 1))
+    return f"{sign}{bits}{'b' if near_boundary else ''}"
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """Canonical, hashable execution signature."""
+
+    branch_profile: frozenset[tuple[int, int]]      # (line, outcome)
+    value_profile: frozenset[tuple[str, str]]        # (var, bucket)
+    line_profile: frozenset[int]
+
+    def signature(self) -> str:
+        payload = "|".join([
+            ";".join(f"{l}:{o}" for l, o in sorted(self.branch_profile)),
+            ";".join(f"{v}:{b}" for v, b in sorted(self.value_profile)),
+            ";".join(str(l) for l in sorted(self.line_profile)),
+        ])
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]
+
+
+def spectrum_from_trace(trace: list[TraceEvent],
+                        key_variables: set[str] | None = None) -> Spectrum:
+    branches: set[tuple[int, int]] = set()
+    values: set[tuple[str, str]] = set()
+    lines: set[int] = set()
+    for event in trace:
+        lines.add(event.line)
+        if event.kind == "branch" and event.value is not None:
+            branches.add((event.line, event.value))
+        elif event.kind == "assign" and event.value is not None:
+            if key_variables is None or event.name in key_variables:
+                values.add((event.name, _bucket(event.value)))
+    return Spectrum(frozenset(branches), frozenset(values), frozenset(lines))
+
+
+def spectrum_of(result: ExecutionResult,
+                key_variables: set[str] | None = None) -> Spectrum:
+    return spectrum_from_trace(result.trace, key_variables)
+
+
+@dataclass
+class CoverageMap:
+    """Accumulates spectra across a test campaign."""
+
+    seen_signatures: set[str] = field(default_factory=set)
+    branches: set[tuple[int, int]] = field(default_factory=set)
+    value_buckets: set[tuple[str, str]] = field(default_factory=set)
+
+    def observe(self, spectrum: Spectrum) -> bool:
+        """Record a spectrum; returns True if it added new coverage."""
+        new_branch = not spectrum.branch_profile <= self.branches
+        new_values = not spectrum.value_profile <= self.value_buckets
+        sig = spectrum.signature()
+        new_sig = sig not in self.seen_signatures
+        self.seen_signatures.add(sig)
+        self.branches |= spectrum.branch_profile
+        self.value_buckets |= spectrum.value_profile
+        return new_branch or new_values or new_sig
+
+    def is_redundant(self, spectrum: Spectrum) -> bool:
+        return spectrum.signature() in self.seen_signatures
+
+    @property
+    def size(self) -> int:
+        return len(self.branches) + len(self.value_buckets)

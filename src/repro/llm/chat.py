@@ -1,0 +1,82 @@
+"""Conversational sessions over a simulated model.
+
+Chip-Chat (Section IV) drives hardware design through a dialogue; this module
+provides the message-log abstraction those flows use, including token
+accounting and a transcript suitable for inspection in examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import Generation, GenerationTask, SimulatedLLM
+from .prompts import Prompt, PromptStrategy
+from .tokenizer import count_tokens
+
+
+@dataclass
+class Message:
+    role: str        # 'system' | 'user' | 'assistant' | 'tool'
+    content: str
+
+    @property
+    def tokens(self) -> int:
+        return count_tokens(self.content)
+
+
+@dataclass
+class ChatSession:
+    """A message log bound to one simulated model."""
+
+    llm: SimulatedLLM
+    system: str = ""
+    messages: list[Message] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.system:
+            self.messages.append(Message("system", self.system))
+
+    def add_user(self, content: str) -> None:
+        self.messages.append(Message("user", content))
+
+    def add_tool_output(self, content: str) -> None:
+        self.messages.append(Message("tool", content))
+
+    @property
+    def transcript(self) -> str:
+        return "\n".join(f"[{m.role}] {m.content}" for m in self.messages)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(m.tokens for m in self.messages)
+
+    def last_feedback(self) -> str:
+        for message in reversed(self.messages):
+            if message.role == "tool":
+                return message.content
+        return ""
+
+    def ask_for_design(self, task: GenerationTask,
+                       strategy: PromptStrategy = PromptStrategy.CONVERSATIONAL,
+                       temperature: float = 0.7,
+                       sample_index: int = 0) -> Generation:
+        """Request a (new or refined) design inside the conversation."""
+        self.add_user(task.spec)
+        feedback = self.last_feedback()
+        previous = self._last_generation()
+        if previous is not None and feedback:
+            generation = self.llm.refine(task, previous, feedback,
+                                         temperature, sample_index)
+        else:
+            prompt = Prompt(spec=task.spec, strategy=strategy,
+                            feedback=feedback, system=self.system)
+            generation = self.llm.generate(task, prompt, temperature,
+                                           sample_index)
+        self.messages.append(Message("assistant", generation.text))
+        self._generations.append(generation)
+        return generation
+
+    _generations: list[Generation] = field(default_factory=list)
+
+    def _last_generation(self) -> Generation | None:
+        return self._generations[-1] if self._generations else None

@@ -1,0 +1,235 @@
+"""Fault taxonomy for simulated LLM code generation.
+
+The simulated model produces code by perturbing a correct solution with
+faults drawn from this taxonomy.  The split into *syntax*, *logic* and
+*interface* classes matters downstream:
+
+* syntax faults fail compilation → precise tool feedback (easy to fix),
+* logic faults fail simulation → vague feedback (hard to fix; this is where
+  ``feedback_comprehension`` separates the models, per the AutoChip study),
+* interface faults break the testbench binding → medium feedback.
+
+Every fault is a deterministic text transformation; appliers return ``None``
+when the pattern does not occur so the injector can fall through.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+Applier = Callable[[str, random.Random], str | None]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    fault_id: str
+    klass: str          # 'syntax' | 'logic' | 'interface'
+    description: str
+    apply: Applier
+
+
+def _swap_once(source: str, pattern: str, replacement: str,
+               rng: random.Random) -> str | None:
+    matches = list(re.finditer(pattern, source))
+    if not matches:
+        return None
+    m = rng.choice(matches)
+    return source[:m.start()] + m.expand(replacement) + source[m.end():]
+
+
+# -- syntax faults ------------------------------------------------------------
+
+
+def _drop_semicolon(source: str, rng: random.Random) -> str | None:
+    positions = [m.start() for m in re.finditer(r";", source)]
+    if len(positions) < 2:
+        return None
+    pos = rng.choice(positions)
+    return source[:pos] + source[pos + 1:]
+
+
+def _misspell_keyword(source: str, rng: random.Random) -> str | None:
+    keywords = ["always", "assign", "endmodule", "begin", "module"]
+    present = [k for k in keywords if re.search(rf"\b{k}\b", source)]
+    if not present:
+        return None
+    kw = rng.choice(present)
+    bad = {"always": "alway", "assign": "asign", "endmodule": "endmodul",
+           "begin": "begn", "module": "modul"}[kw]
+    return re.sub(rf"\b{kw}\b", bad, source, count=1)
+
+
+def _drop_end(source: str, rng: random.Random) -> str | None:
+    matches = list(re.finditer(r"\bend\b(?!module|case|function)", source))
+    if not matches:
+        return None
+    m = rng.choice(matches)
+    return source[:m.start()] + source[m.end():]
+
+
+def _unbalanced_paren(source: str, rng: random.Random) -> str | None:
+    positions = [m.start() for m in re.finditer(r"\)", source)]
+    if len(positions) < 2:
+        return None
+    pos = rng.choice(positions)
+    return source[:pos] + source[pos + 1:]
+
+
+# -- logic faults -----------------------------------------------------------------
+
+
+def _swap_plus_minus(source: str, rng: random.Random) -> str | None:
+    # Only touch '+'/'-' used as binary arithmetic inside expressions.
+    out = _swap_once(source, r"(?<=[\w\]\)]) \+ (?=[\w\(\{])", " - ", rng)
+    if out is not None:
+        return out
+    return _swap_once(source, r"(?<=[\w\]\)]) - (?=[\w\(\{])", " + ", rng)
+
+
+def _flip_comparison(source: str, rng: random.Random) -> str | None:
+    candidates = [(r"<=", ">="), (r">=", "<="), (r"(?<![<>=!])<(?!=)", ">"),
+                  (r"(?<![<>=!])>(?!=)", "<")]
+    rng.shuffle(candidates)
+    for pattern, repl in candidates:
+        # Avoid flipping non-blocking assignments (lhs <= rhs;) — approximate
+        # by skipping matches that follow an identifier at line start.
+        matches = [m for m in re.finditer(pattern, source)
+                   if "if" in source[max(0, m.start() - 40):m.start()]
+                   or "?" in source[m.end():m.end() + 20]]
+        if matches:
+            m = rng.choice(matches)
+            return source[:m.start()] + repl + source[m.end():]
+    return None
+
+
+def _off_by_one(source: str, rng: random.Random) -> str | None:
+    matches = [m for m in re.finditer(r"\b(\d+)\b", source)
+               if m.group(1) not in ("0",) and len(m.group(1)) <= 3]
+    if not matches:
+        return None
+    m = rng.choice(matches)
+    value = int(m.group(1))
+    new = value + rng.choice([-1, 1])
+    if new < 0:
+        new = value + 1
+    return source[:m.start()] + str(new) + source[m.end():]
+
+
+def _invert_condition(source: str, rng: random.Random) -> str | None:
+    matches = list(re.finditer(r"if \((\w+)\)", source))
+    if not matches:
+        return None
+    m = rng.choice(matches)
+    return source[:m.start()] + f"if (!{m.group(1)})" + source[m.end():]
+
+
+def _wrong_reset_value(source: str, rng: random.Random) -> str | None:
+    matches = list(re.finditer(r"<= 0\b", source))
+    if not matches:
+        return None
+    m = rng.choice(matches)
+    return source[:m.start()] + "<= 1" + source[m.end():]
+
+
+def _and_to_or(source: str, rng: random.Random) -> str | None:
+    out = _swap_once(source, r"&(?!&)", "|", rng)
+    if out is not None:
+        return out
+    return _swap_once(source, r"\^", "&", rng)
+
+
+def _blocking_in_ff(source: str, rng: random.Random) -> str | None:
+    """Replace one non-blocking assign with blocking inside a clocked block."""
+    matches = list(re.finditer(r"(\w+) <= ", source))
+    if not matches:
+        return None
+    m = rng.choice(matches)
+    return source[:m.start()] + f"{m.group(1)} = " + source[m.end():]
+
+
+def _shrink_width(source: str, rng: random.Random) -> str | None:
+    matches = list(re.finditer(r"\[(\d+):0\]", source))
+    if not matches:
+        return None
+    m = rng.choice(matches)
+    msb = int(m.group(1))
+    if msb < 2:
+        return None
+    return source[:m.start()] + f"[{msb - 1}:0]" + source[m.end():]
+
+
+def _drop_case_default(source: str, rng: random.Random) -> str | None:
+    m = re.search(r"\n\s*default\s*:[^\n]*\n", source)
+    if m is None:
+        return None
+    return source[:m.start()] + "\n" + source[m.end():]
+
+
+# -- interface faults ----------------------------------------------------------------
+
+
+def _rename_port(source: str, rng: random.Random) -> str | None:
+    m = re.search(r"(input|output)\s+(?:reg\s+|wire\s+)?(?:\[[^\]]*\]\s*)?(\w+)",
+                  source)
+    if m is None:
+        return None
+    name = m.group(2)
+    return re.sub(rf"\b{name}\b", name + "_x", source)
+
+
+def _swap_port_order(source: str, rng: random.Random) -> str | None:
+    m = re.search(r"module\s+\w+\s*\(([^)]*)\)", source, flags=re.S)
+    if m is None:
+        return None
+    parts = [p.strip() for p in m.group(1).split(",") if p.strip()]
+    if len(parts) < 2:
+        return None
+    i = rng.randrange(len(parts) - 1)
+    parts[i], parts[i + 1] = parts[i + 1], parts[i]
+    return source[:m.start(1)] + ", ".join(parts) + source[m.end(1):]
+
+
+SYNTAX_FAULTS: tuple[FaultSpec, ...] = (
+    FaultSpec("drop_semicolon", "syntax", "missing semicolon", _drop_semicolon),
+    FaultSpec("misspell_keyword", "syntax", "misspelled keyword", _misspell_keyword),
+    FaultSpec("drop_end", "syntax", "missing 'end'", _drop_end),
+    FaultSpec("unbalanced_paren", "syntax", "unbalanced parenthesis",
+              _unbalanced_paren),
+)
+
+LOGIC_FAULTS: tuple[FaultSpec, ...] = (
+    FaultSpec("swap_plus_minus", "logic", "wrong arithmetic operator",
+              _swap_plus_minus),
+    FaultSpec("flip_comparison", "logic", "flipped comparison", _flip_comparison),
+    FaultSpec("off_by_one", "logic", "off-by-one constant", _off_by_one),
+    FaultSpec("invert_condition", "logic", "inverted if condition",
+              _invert_condition),
+    FaultSpec("wrong_reset", "logic", "wrong reset value", _wrong_reset_value),
+    FaultSpec("and_to_or", "logic", "wrong bitwise operator", _and_to_or),
+    FaultSpec("blocking_in_ff", "logic", "blocking assign in clocked block",
+              _blocking_in_ff),
+    FaultSpec("shrink_width", "logic", "truncated vector width", _shrink_width),
+    FaultSpec("drop_case_default", "logic", "missing case default",
+              _drop_case_default),
+)
+
+INTERFACE_FAULTS: tuple[FaultSpec, ...] = (
+    FaultSpec("rename_port", "interface", "port name mismatch", _rename_port),
+    FaultSpec("swap_port_order", "interface", "port order changed",
+              _swap_port_order),
+)
+
+ALL_FAULTS: tuple[FaultSpec, ...] = SYNTAX_FAULTS + LOGIC_FAULTS + INTERFACE_FAULTS
+
+_BY_ID = {f.fault_id: f for f in ALL_FAULTS}
+
+
+def fault_by_id(fault_id: str) -> FaultSpec:
+    return _BY_ID[fault_id]
+
+
+def faults_of_class(klass: str) -> tuple[FaultSpec, ...]:
+    return tuple(f for f in ALL_FAULTS if f.klass == klass)

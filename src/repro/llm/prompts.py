@@ -1,0 +1,126 @@
+"""Prompting strategies and their effect on generation quality.
+
+Covers the strategies the paper surveys:
+
+* **DIRECT** — single-shot instruction.
+* **COT** — chain-of-thought ("think step by step"), a mild semantic boost.
+* **SCOT** — structured chain-of-thought (Section V): first generate
+  pseudocode, then code from the pseudocode.  Larger semantic boost and a
+  diversity damping (output follows the pseudocode skeleton).
+* **HIERARCHICAL** — decompose a complex design into submodules (Section IV,
+  CL-Verilog): reduces the *effective complexity* a model faces, at the cost
+  of extra calls.
+* **CONVERSATIONAL** — Chip-Chat style: iterative dialogue with a human or
+  automated feedback; modelled as repeated DIRECT calls with feedback.
+
+The multipliers returned by :func:`prompt_effects` feed the fault injector:
+they scale the per-unit fault probabilities derived from the model profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .profiles import ModelProfile
+
+
+class PromptStrategy(Enum):
+    DIRECT = "direct"
+    COT = "cot"
+    SCOT = "scot"
+    HIERARCHICAL = "hierarchical"
+    CONVERSATIONAL = "conversational"
+
+
+@dataclass
+class Prompt:
+    """One generation request to a simulated model."""
+
+    spec: str
+    strategy: PromptStrategy = PromptStrategy.DIRECT
+    examples: tuple[str, ...] = ()
+    context_docs: tuple[str, ...] = ()   # RAG-retrieved passages
+    feedback: str = ""                   # tool output from the previous attempt
+    system: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable prompt text (also used for token accounting)."""
+        parts: list[str] = []
+        if self.system:
+            parts.append(f"[SYSTEM]\n{self.system}")
+        for i, doc in enumerate(self.context_docs):
+            parts.append(f"[CONTEXT {i + 1}]\n{doc}")
+        for i, example in enumerate(self.examples):
+            parts.append(f"[EXAMPLE {i + 1}]\n{example}")
+        strategy_header = {
+            PromptStrategy.DIRECT: "",
+            PromptStrategy.COT: "Think step by step before writing code.\n",
+            PromptStrategy.SCOT: ("First write structured pseudocode with "
+                                  "explicit control flow, then translate it to "
+                                  "code. The pseudocode may contain errors — "
+                                  "check it.\n"),
+            PromptStrategy.HIERARCHICAL: ("Decompose the design into smaller "
+                                          "submodules and build bottom-up.\n"),
+            PromptStrategy.CONVERSATIONAL: "",
+        }[self.strategy]
+        parts.append(f"[TASK]\n{strategy_header}{self.spec}")
+        if self.feedback:
+            parts.append(f"[TOOL FEEDBACK]\n{self.feedback}")
+        return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
+class PromptEffects:
+    """Multipliers applied to the base fault probabilities (1.0 = neutral;
+    below 1.0 reduces faults)."""
+
+    syntax_factor: float
+    semantic_factor: float
+    effective_complexity_delta: int
+    diversity_factor: float
+    extra_calls: int  # additional model invocations the strategy costs
+
+
+def prompt_effects(profile: ModelProfile, prompt: Prompt,
+                   task_complexity: int) -> PromptEffects:
+    """How a prompt changes this model's fault behaviour on this task."""
+    follow = profile.instruction_following
+    syntax = 1.0
+    semantic = 1.0
+    complexity_delta = 0
+    diversity = 1.0
+    extra_calls = 0
+
+    if prompt.strategy is PromptStrategy.COT:
+        semantic *= 1.0 - 0.15 * follow
+    elif prompt.strategy is PromptStrategy.SCOT:
+        semantic *= 1.0 - 0.30 * follow
+        syntax *= 1.0 - 0.10 * follow
+        diversity *= 0.8
+        extra_calls = 1  # pseudocode pass
+    elif prompt.strategy is PromptStrategy.HIERARCHICAL:
+        # Decomposition only helps genuinely complex tasks and only if the
+        # model follows the decomposition structure: each submodule is a
+        # smaller problem (complexity delta) and its interfaces constrain
+        # the logic (semantic factor).
+        if task_complexity >= 3:
+            complexity_delta = -3 if follow > 0.6 else -1
+            semantic *= 1.0 - 0.25 * follow
+        extra_calls = max(1, task_complexity - 1)
+
+    usable_examples = min(len(prompt.examples), profile.context_items)
+    semantic *= 1.0 - 0.04 * usable_examples
+    syntax *= 1.0 - 0.02 * usable_examples
+
+    usable_docs = min(len(prompt.context_docs), profile.context_items)
+    semantic *= 1.0 - 0.05 * usable_docs
+
+    return PromptEffects(
+        syntax_factor=max(0.1, syntax),
+        semantic_factor=max(0.1, semantic),
+        effective_complexity_delta=complexity_delta,
+        diversity_factor=diversity,
+        extra_calls=extra_calls,
+    )

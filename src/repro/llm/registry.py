@@ -1,0 +1,132 @@
+"""Registry of simulated model profiles.
+
+Calibration notes (tied to the paper's Section IV narrative):
+
+* ``dave-gpt2`` — the 2020 finetuned GPT-2: solves novice textbook problems,
+  collapses on anything complex or open-ended.
+* ``verigen-codegen-16b`` — the best VeriGen model: outperforms ChatGPT-3.5
+  and approaches GPT-4 on in-distribution Verilog at a fraction of the size.
+* ``chatgpt-3.5`` / ``gpt-4`` / ``gpt-4o`` — general conversational models;
+  only the top of the family meaningfully exploits EDA tool feedback
+  (the AutoChip observation).
+* ``codellama-34b-instruct`` and its finetuned sibling — the SLT case study
+  model pair ("performs significantly better" after finetuning on 80k QA
+  pairs + 1.5B tokens).
+* ``cl-verilog-34b`` — hierarchical-prompting era finetuned Code Llama.
+* ``rtlcoder-7b`` / ``codev-7b`` — later compact Verilog finetunes.
+"""
+
+from __future__ import annotations
+
+from .profiles import ModelProfile
+
+_PROFILES: dict[str, ModelProfile] = {}
+
+
+def _register(profile: ModelProfile) -> ModelProfile:
+    if profile.name in _PROFILES:
+        raise ValueError(f"duplicate model '{profile.name}'")
+    _PROFILES[profile.name] = profile
+    return profile
+
+
+DAVE = _register(ModelProfile(
+    name="dave-gpt2", family="gpt2-ft", params_b=0.35, instruct=False,
+    syntax_reliability=0.80, semantic_reliability=0.55,
+    feedback_comprehension=0.05, spec_comprehension=0.15,
+    instruction_following=0.20, generation_diversity=0.30,
+    verilog_strength=0.55, c_strength=0.10, realworld_code_prior=0.10,
+    context_items=1, release_year=2020))
+
+VERIGEN = _register(ModelProfile(
+    name="verigen-codegen-16b", family="codegen-ft", params_b=16, instruct=False,
+    syntax_reliability=0.92, semantic_reliability=0.72,
+    feedback_comprehension=0.15, spec_comprehension=0.35,
+    instruction_following=0.35, generation_diversity=0.45,
+    verilog_strength=0.85, c_strength=0.40, realworld_code_prior=0.30,
+    context_items=3, release_year=2023))
+
+CHATGPT35 = _register(ModelProfile(
+    name="chatgpt-3.5", family="gpt", params_b=175, instruct=True,
+    syntax_reliability=0.88, semantic_reliability=0.62,
+    feedback_comprehension=0.30, spec_comprehension=0.70,
+    instruction_following=0.75, generation_diversity=0.60,
+    verilog_strength=0.55, c_strength=0.75, realworld_code_prior=0.70,
+    context_items=5, release_year=2022))
+
+GPT4 = _register(ModelProfile(
+    name="gpt-4", family="gpt", params_b=1000, instruct=True,
+    syntax_reliability=0.95, semantic_reliability=0.78,
+    feedback_comprehension=0.55, spec_comprehension=0.88,
+    instruction_following=0.90, generation_diversity=0.55,
+    verilog_strength=0.72, c_strength=0.88, realworld_code_prior=0.85,
+    context_items=8, release_year=2023))
+
+GPT4O = _register(ModelProfile(
+    name="gpt-4o", family="gpt", params_b=1100, instruct=True,
+    syntax_reliability=0.96, semantic_reliability=0.80,
+    feedback_comprehension=0.75, spec_comprehension=0.90,
+    instruction_following=0.92, generation_diversity=0.60,
+    verilog_strength=0.75, c_strength=0.90, realworld_code_prior=0.88,
+    context_items=10, release_year=2024))
+
+CODELLAMA = _register(ModelProfile(
+    name="codellama-34b-instruct", family="llama", params_b=34, instruct=True,
+    syntax_reliability=0.90, semantic_reliability=0.68,
+    feedback_comprehension=0.35, spec_comprehension=0.72,
+    instruction_following=0.78, generation_diversity=0.65,
+    verilog_strength=0.50, c_strength=0.80, realworld_code_prior=0.80,
+    context_items=6, release_year=2023))
+
+CODELLAMA_FT = _register(ModelProfile(
+    name="codellama-34b-instruct-ft", family="llama", params_b=34, instruct=True,
+    syntax_reliability=0.94, semantic_reliability=0.76,
+    feedback_comprehension=0.45, spec_comprehension=0.78,
+    instruction_following=0.85, generation_diversity=0.60,
+    verilog_strength=0.60, c_strength=0.90, realworld_code_prior=0.85,
+    context_items=8, release_year=2024))
+
+CL_VERILOG = _register(ModelProfile(
+    name="cl-verilog-34b", family="llama-ft", params_b=34, instruct=True,
+    syntax_reliability=0.95, semantic_reliability=0.78,
+    feedback_comprehension=0.40, spec_comprehension=0.75,
+    instruction_following=0.82, generation_diversity=0.55,
+    verilog_strength=0.88, c_strength=0.70, realworld_code_prior=0.60,
+    context_items=6, release_year=2024))
+
+RTLCODER = _register(ModelProfile(
+    name="rtlcoder-7b", family="mistral-ft", params_b=7, instruct=True,
+    syntax_reliability=0.91, semantic_reliability=0.70,
+    feedback_comprehension=0.20, spec_comprehension=0.55,
+    instruction_following=0.65, generation_diversity=0.50,
+    verilog_strength=0.82, c_strength=0.45, realworld_code_prior=0.35,
+    context_items=4, release_year=2024))
+
+CODEV = _register(ModelProfile(
+    name="codev-7b", family="deepseek-ft", params_b=7, instruct=True,
+    syntax_reliability=0.93, semantic_reliability=0.73,
+    feedback_comprehension=0.22, spec_comprehension=0.60,
+    instruction_following=0.70, generation_diversity=0.50,
+    verilog_strength=0.86, c_strength=0.50, realworld_code_prior=0.40,
+    context_items=4, release_year=2025))
+
+
+def get_model(name: str) -> ModelProfile:
+    """Look up a model profile by name; raises KeyError with suggestions."""
+    if name not in _PROFILES:
+        known = ", ".join(sorted(_PROFILES))
+        raise KeyError(f"unknown model '{name}'; known models: {known}")
+    return _PROFILES[name]
+
+
+def list_models() -> list[str]:
+    return sorted(_PROFILES)
+
+
+def models_by_family(family: str) -> list[ModelProfile]:
+    return [p for p in _PROFILES.values() if p.family == family]
+
+
+# The four "state-of-the-art commercial LLMs" of the AutoChip evaluation.
+AUTOCHIP_EVAL_MODELS = ("chatgpt-3.5", "gpt-4", "gpt-4o",
+                        "codellama-34b-instruct")

@@ -1,0 +1,88 @@
+"""A small deterministic tokenizer used for token accounting and text
+similarity.
+
+This is not a learned BPE — it is a code-aware word/punctuation splitter that
+gives stable token counts for cost accounting, prompt-budget checks, and the
+n-gram similarity measures used by the candidate pool (Levenshtein operates
+on tokens, not characters, to match how the SLT paper compares snippets).
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z_0-9]*"      # identifiers/keywords
+    r"|0[xX][0-9a-fA-F]+"           # hex literals
+    r"|\d+'[bodhBODH][0-9a-fA-FxXzZ_]+"  # verilog sized literals
+    r"|\d+"                          # decimal
+    r"|<<=|>>=|===|!==|<<<|>>>|<=|>=|==|!=|&&|\|\||<<|>>|\+\+|--|\+=|-=|\*=|/=|%="
+    r"|[\[\](){};:,.?~!@#$%^&*\-+=<>/|\\]"
+    r"|\"[^\"]*\""
+)
+
+
+def tokenize_text(text: str) -> list[str]:
+    """Split source text into tokens (whitespace and comments dropped)."""
+    no_line_comments = re.sub(r"//[^\n]*", " ", text)
+    cleaned = re.sub(r"/\*.*?\*/", " ", no_line_comments, flags=re.S)
+    return _TOKEN_RE.findall(cleaned)
+
+
+def count_tokens(text: str) -> int:
+    return len(tokenize_text(text))
+
+
+def ngrams(tokens: list[str], n: int) -> set[tuple[str, ...]]:
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return {tuple(tokens[i:i + n]) for i in range(len(tokens) - n + 1)}
+
+
+def jaccard_similarity(a: str, b: str, n: int = 3) -> float:
+    """Token n-gram Jaccard similarity — cheap proxy for code similarity."""
+    ga = ngrams(tokenize_text(a), n)
+    gb = ngrams(tokenize_text(b), n)
+    if not ga and not gb:
+        return 1.0
+    if not ga or not gb:
+        return 0.0
+    return len(ga & gb) / len(ga | gb)
+
+
+def token_levenshtein(a: str, b: str, limit: int | None = None) -> int:
+    """Levenshtein distance over tokens (banded when ``limit`` is given).
+
+    The SLT loop (Section V) uses Levenshtein distance between candidate
+    snippets to force pool diversity; token-level distance is what makes two
+    renamings of the same loop 'close'.
+    """
+    ta = tokenize_text(a)
+    tb = tokenize_text(b)
+    if limit is not None and abs(len(ta) - len(tb)) > limit:
+        return limit + 1
+    if not ta:
+        return len(tb)
+    if not tb:
+        return len(ta)
+    prev = list(range(len(tb) + 1))
+    for i, tok_a in enumerate(ta, start=1):
+        cur = [i] + [0] * len(tb)
+        row_min = cur[0]
+        for j, tok_b in enumerate(tb, start=1):
+            cost = 0 if tok_a == tok_b else 1
+            cur[j] = min(prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost)
+            row_min = min(row_min, cur[j])
+        if limit is not None and row_min > limit:
+            return limit + 1
+        prev = cur
+    return prev[-1]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """Distance scaled to [0, 1] by the longer token sequence."""
+    ta, tb = tokenize_text(a), tokenize_text(b)
+    longest = max(len(ta), len(tb))
+    if longest == 0:
+        return 0.0
+    return token_levenshtein(a, b) / longest

@@ -1,0 +1,377 @@
+"""Trace-driven out-of-order superscalar core model (the BOOM substitute).
+
+Two phases, like every trace-driven simulator:
+
+1. **Functional execution** — run the RV32IM program to obtain the dynamic
+   instruction trace, architectural results, and data values (needed for the
+   activity/power model).
+2. **Timing model** — replay the trace through a scoreboard with a fetch /
+   dispatch width, a reorder buffer, per-class functional units (pipelined
+   ALUs and multiplier, unpipelined divider, one load/store unit), and a
+   static backward-taken branch predictor with a mispredict penalty.
+
+The outputs (IPC, per-unit occupancy, operand toggle activity, mispredict
+counts) feed the activity-based power model in :mod:`repro.riscv.power`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .assembler import Program
+from .isa import (Instruction, UNIT_ALU, UNIT_BRANCH, UNIT_DIV, UNIT_LSU,
+                  UNIT_MUL)
+
+
+class ExecutionFault(Exception):
+    def __init__(self, kind: str, message: str):
+        self.kind = kind
+        super().__init__(f"[CPU:{kind}] {message}")
+
+
+def _s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _u32(value: int) -> int:
+    return value & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """BOOM-like microarchitecture parameters."""
+
+    fetch_width: int = 2
+    retire_width: int = 2
+    rob_size: int = 32
+    alu_units: int = 2
+    mul_units: int = 1
+    div_units: int = 1
+    lsu_units: int = 1
+    branch_units: int = 1
+    mispredict_penalty: int = 7
+    cache_hit_latency: int = 2
+    cache_miss_latency: int = 20
+    cache_lines: int = 64          # direct-mapped, 16-byte lines
+    max_instructions: int = 2_000_000
+
+
+@dataclass
+class TraceEntry:
+    instr: Instruction
+    srcs: tuple[int, ...]
+    dst: int
+    result: int
+    is_mem: bool
+    mem_addr: int
+    taken: bool
+    pc: int
+
+
+@dataclass
+class CoreStats:
+    instret: int = 0
+    cycles: int = 0
+    unit_ops: dict[str, int] = field(default_factory=dict)
+    unit_activity: dict[str, float] = field(default_factory=dict)
+    branch_count: int = 0
+    mispredicts: int = 0
+    mem_reads: int = 0
+    mem_writes: int = 0
+    cache_misses: int = 0
+    halted: bool = False
+    return_value: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instret / self.cycles if self.cycles else 0.0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branch_count if self.branch_count else 0.0
+
+    def unit_rate(self, unit: str) -> float:
+        if not self.cycles:
+            return 0.0
+        return self.unit_ops.get(unit, 0) / self.cycles
+
+    def summary(self) -> str:
+        return (f"{self.instret} insns in {self.cycles} cycles "
+                f"(IPC={self.ipc:.2f}), mispredict={self.mispredict_rate:.1%}, "
+                f"cache_misses={self.cache_misses}")
+
+
+class Core:
+    """Functional + timing simulation of one program run."""
+
+    def __init__(self, config: CoreConfig | None = None):
+        self.config = config or CoreConfig()
+
+    # -- phase 1: functional execution --------------------------------------------
+
+    def _exec_functional(self, program: Program) -> tuple[list[TraceEntry], int]:
+        cfg = self.config
+        regs = [0] * 32
+        regs[2] = 0x10000
+        memory: dict[int, int] = {}
+        trace: list[TraceEntry] = []
+        pc = program.labels.get("_start", 0)
+        count = 0
+        instrs = program.instructions
+
+        while 0 <= pc < len(instrs):
+            count += 1
+            if count > cfg.max_instructions:
+                raise ExecutionFault("timeout",
+                                     f"exceeded {cfg.max_instructions} "
+                                     f"dynamic instructions")
+            instr = instrs[pc]
+            m = instr.mnemonic
+            rs1 = regs[instr.rs1]
+            rs2 = regs[instr.rs2]
+            result = 0
+            dst = instr.rd
+            is_mem = False
+            mem_addr = 0
+            taken = False
+            next_pc = pc + 1
+
+            if m == "ebreak":
+                trace.append(TraceEntry(instr, (), 0, 0, False, 0, False, pc))
+                return trace, regs[10]
+            elif m in ("add", "addi"):
+                other = rs2 if m == "add" else instr.imm
+                result = _s32(rs1 + other)
+            elif m == "sub":
+                result = _s32(rs1 - rs2)
+            elif m in ("and", "andi"):
+                other = rs2 if m == "and" else instr.imm
+                result = _s32(rs1 & other)
+            elif m in ("or", "ori"):
+                other = rs2 if m == "or" else instr.imm
+                result = _s32(rs1 | other)
+            elif m in ("xor", "xori"):
+                other = rs2 if m == "xor" else instr.imm
+                result = _s32(rs1 ^ other)
+            elif m in ("sll", "slli"):
+                amount = (rs2 if m == "sll" else instr.imm) & 31
+                result = _s32(rs1 << amount)
+            elif m in ("srl", "srli"):
+                amount = (rs2 if m == "srl" else instr.imm) & 31
+                result = _s32(_u32(rs1) >> amount)
+            elif m in ("sra", "srai"):
+                amount = (rs2 if m == "sra" else instr.imm) & 31
+                result = rs1 >> amount
+            elif m in ("slt", "slti"):
+                other = rs2 if m == "slt" else instr.imm
+                result = 1 if rs1 < other else 0
+            elif m in ("sltu", "sltiu"):
+                other = _u32(rs2) if m == "sltu" else _u32(instr.imm)
+                result = 1 if _u32(rs1) < other else 0
+            elif m == "mul":
+                result = _s32(rs1 * rs2)
+            elif m == "mulh":
+                result = _s32((rs1 * rs2) >> 32)
+            elif m == "mulhu":
+                result = _s32((_u32(rs1) * _u32(rs2)) >> 32)
+            elif m == "mulhsu":
+                result = _s32((rs1 * _u32(rs2)) >> 32)
+            elif m in ("div", "divu", "rem", "remu"):
+                if (m in ("div", "rem") and rs2 == 0) or \
+                        (m in ("divu", "remu") and _u32(rs2) == 0):
+                    result = -1 if m.startswith("div") else rs1
+                elif m == "div":
+                    q = abs(rs1) // abs(rs2)
+                    result = _s32(-q if (rs1 < 0) != (rs2 < 0) else q)
+                elif m == "divu":
+                    result = _s32(_u32(rs1) // _u32(rs2))
+                elif m == "rem":
+                    q = abs(rs1) // abs(rs2)
+                    q = -q if (rs1 < 0) != (rs2 < 0) else q
+                    result = _s32(rs1 - q * rs2)
+                else:
+                    result = _s32(_u32(rs1) % _u32(rs2))
+            elif m == "lui":
+                result = _s32(instr.imm << 12)
+            elif m == "auipc":
+                result = _s32((pc * 4) + (instr.imm << 12))
+            elif m in ("lw", "lh", "lhu", "lb", "lbu"):
+                is_mem = True
+                mem_addr = _u32(rs1 + instr.imm)
+                word = memory.get(mem_addr >> 2, 0)
+                if m == "lw":
+                    result = _s32(word)
+                else:
+                    shift = (mem_addr & 3) * 8
+                    if m in ("lb", "lbu"):
+                        byte = (word >> shift) & 0xFF
+                        result = byte - 256 if (m == "lb" and byte & 0x80) \
+                            else byte
+                    else:
+                        half = (word >> shift) & 0xFFFF
+                        result = half - 65536 if (m == "lh" and half & 0x8000) \
+                            else half
+            elif m in ("sw", "sh", "sb"):
+                is_mem = True
+                dst = 0
+                mem_addr = _u32(rs1 + instr.imm)
+                if m == "sw":
+                    memory[mem_addr >> 2] = _s32(rs2)
+                else:
+                    word = _u32(memory.get(mem_addr >> 2, 0))
+                    shift = (mem_addr & 3) * 8
+                    mask = 0xFF if m == "sb" else 0xFFFF
+                    word = (word & ~(mask << shift)) \
+                        | ((_u32(rs2) & mask) << shift)
+                    memory[mem_addr >> 2] = _s32(word)
+            elif m in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+                dst = 0
+                conds = {
+                    "beq": rs1 == rs2, "bne": rs1 != rs2,
+                    "blt": rs1 < rs2, "bge": rs1 >= rs2,
+                    "bltu": _u32(rs1) < _u32(rs2),
+                    "bgeu": _u32(rs1) >= _u32(rs2),
+                }
+                taken = conds[m]
+                if taken:
+                    next_pc = pc + instr.imm // 4
+            elif m == "jal":
+                result = (pc + 1) * 4
+                taken = True
+                next_pc = pc + instr.imm // 4
+            elif m == "jalr":
+                result = (pc + 1) * 4
+                taken = True
+                next_pc = _u32(rs1 + instr.imm) // 4
+            else:  # pragma: no cover - all mnemonics handled
+                raise ExecutionFault("decode", f"unhandled mnemonic '{m}'")
+
+            if dst != 0:
+                regs[dst] = _s32(result)
+                regs[0] = 0
+            srcs = tuple(r for r in (instr.rs1, instr.rs2) if r != 0)
+            trace.append(TraceEntry(instr, srcs, dst, result, is_mem,
+                                    mem_addr, taken, pc))
+            pc = next_pc
+        raise ExecutionFault("pcrange", f"program counter left code at {pc}")
+
+    # -- phase 2: timing model ------------------------------------------------------------
+
+    def _timing(self, trace: list[TraceEntry], stats: CoreStats) -> None:
+        cfg = self.config
+        reg_ready = [0] * 32
+        unit_free: dict[str, list[int]] = {
+            UNIT_ALU: [0] * cfg.alu_units,
+            UNIT_MUL: [0] * cfg.mul_units,
+            UNIT_DIV: [0] * cfg.div_units,
+            UNIT_LSU: [0] * cfg.lsu_units,
+            UNIT_BRANCH: [0] * cfg.branch_units,
+        }
+        retire_times: list[int] = []
+        fetch_cycle = 0
+        fetched_this_cycle = 0
+        last_result: dict[str, int] = {}
+        toggle_sum: dict[str, float] = {}
+        cache_tags: list[int | None] = [None] * cfg.cache_lines
+
+        last_retire = 0
+        for idx, entry in enumerate(trace):
+            spec = entry.instr.spec
+            unit = spec.unit
+
+            # Fetch/dispatch bandwidth.
+            if fetched_this_cycle >= cfg.fetch_width:
+                fetch_cycle += 1
+                fetched_this_cycle = 0
+            # ROB back-pressure: cannot dispatch when ROB holds rob_size.
+            if len(retire_times) >= cfg.rob_size:
+                oldest = retire_times[-cfg.rob_size]
+                if oldest > fetch_cycle:
+                    fetch_cycle = oldest
+                    fetched_this_cycle = 0
+            dispatch = fetch_cycle
+            fetched_this_cycle += 1
+
+            operands_ready = max([dispatch]
+                                 + [reg_ready[r] for r in entry.srcs])
+            # FU allocation: earliest-free instance.
+            frees = unit_free[unit]
+            slot = min(range(len(frees)), key=lambda i: frees[i])
+            issue = max(operands_ready, frees[slot])
+
+            latency = spec.latency
+            occupancy = 1
+            if unit == UNIT_DIV:
+                occupancy = latency          # unpipelined divider
+            if entry.is_mem:
+                line = (entry.mem_addr >> 4) % cfg.cache_lines
+                tag = entry.mem_addr >> 4
+                if cache_tags[line] == tag:
+                    latency = cfg.cache_hit_latency
+                else:
+                    latency = cfg.cache_miss_latency
+                    cache_tags[line] = tag
+                    stats.cache_misses += 1
+                if entry.instr.mnemonic.startswith("s"):
+                    stats.mem_writes += 1
+                    latency = 1   # stores complete at commit
+                else:
+                    stats.mem_reads += 1
+            complete = issue + latency
+            frees[slot] = issue + occupancy
+
+            if entry.dst != 0:
+                reg_ready[entry.dst] = complete
+
+            # In-order retirement, retire_width per cycle.
+            retire = max(complete, last_retire)
+            recent = sum(1 for t in retire_times[-cfg.retire_width:]
+                         if t == retire)
+            if recent >= cfg.retire_width:
+                retire += 1
+            retire_times.append(retire)
+            last_retire = retire
+
+            # Branch prediction: backward taken, forward not-taken.
+            if unit == UNIT_BRANCH:
+                stats.branch_count += 1
+                if entry.instr.mnemonic in ("jal", "jalr"):
+                    predicted_taken = True
+                    mispredict = entry.instr.mnemonic == "jalr"
+                else:
+                    predicted_taken = entry.instr.imm < 0
+                    mispredict = predicted_taken != entry.taken
+                if mispredict:
+                    stats.mispredicts += 1
+                    fetch_cycle = max(fetch_cycle,
+                                      complete + cfg.mispredict_penalty)
+                    fetched_this_cycle = 0
+
+            # Operand toggle activity (for the power model).
+            prev = last_result.get(unit, 0)
+            toggles = bin(_u32(prev ^ entry.result)).count("1") / 32.0
+            toggle_sum[unit] = toggle_sum.get(unit, 0.0) + toggles
+            last_result[unit] = entry.result
+            stats.unit_ops[unit] = stats.unit_ops.get(unit, 0) + 1
+
+        stats.cycles = (retire_times[-1] + 1) if retire_times else 1
+        for unit, total in toggle_sum.items():
+            ops = stats.unit_ops.get(unit, 1)
+            stats.unit_activity[unit] = total / ops
+
+    # -- public -----------------------------------------------------------------------------
+
+    def run(self, program: Program) -> CoreStats:
+        """Execute a program and return combined functional+timing stats."""
+        stats = CoreStats()
+        trace, retval = self._exec_functional(program)
+        stats.instret = len(trace)
+        stats.halted = True
+        stats.return_value = retval
+        self._timing(trace, stats)
+        return stats
+
+
+def run_program(program: Program, config: CoreConfig | None = None) -> CoreStats:
+    return Core(config).run(program)

@@ -1,0 +1,259 @@
+"""RV32IM instruction set: representation, encoding and decoding.
+
+The SLT case study (Section V) scores C programs by the power they induce in
+a BOOM-class out-of-order RISC-V core.  This module gives the core a real
+ISA to execute: the RV32I base plus the M extension, with binary
+encode/decode so the assembler and core can be cross-checked bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Functional-unit classes used by the timing and power models.
+UNIT_ALU = "alu"
+UNIT_MUL = "mul"
+UNIT_DIV = "div"
+UNIT_LSU = "lsu"
+UNIT_BRANCH = "branch"
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    mnemonic: str
+    fmt: str          # R, I, S, B, U, J
+    opcode: int
+    funct3: int | None = None
+    funct7: int | None = None
+    unit: str = UNIT_ALU
+    latency: int = 1
+
+
+_R = lambda m, f3, f7, unit=UNIT_ALU, lat=1: InstrSpec(m, "R", 0b0110011, f3, f7, unit, lat)
+
+SPECS: dict[str, InstrSpec] = {}
+
+
+def _add(spec: InstrSpec) -> None:
+    SPECS[spec.mnemonic] = spec
+
+
+# R-type ALU
+_base_r = [
+    ("add", 0b000, 0b0000000), ("sub", 0b000, 0b0100000),
+    ("sll", 0b001, 0b0000000), ("slt", 0b010, 0b0000000),
+    ("sltu", 0b011, 0b0000000), ("xor", 0b100, 0b0000000),
+    ("srl", 0b101, 0b0000000), ("sra", 0b101, 0b0100000),
+    ("or", 0b110, 0b0000000), ("and", 0b111, 0b0000000),
+]
+for m, f3, f7 in _base_r:
+    _add(_R(m, f3, f7))
+
+# M extension
+_m_ext = [
+    ("mul", 0b000, UNIT_MUL, 3), ("mulh", 0b001, UNIT_MUL, 3),
+    ("mulhsu", 0b010, UNIT_MUL, 3), ("mulhu", 0b011, UNIT_MUL, 3),
+    ("div", 0b100, UNIT_DIV, 20), ("divu", 0b101, UNIT_DIV, 20),
+    ("rem", 0b110, UNIT_DIV, 20), ("remu", 0b111, UNIT_DIV, 20),
+]
+for m, f3, unit, lat in _m_ext:
+    _add(_R(m, f3, 0b0000001, unit, lat))
+
+# I-type ALU
+for m, f3 in [("addi", 0b000), ("slti", 0b010), ("sltiu", 0b011),
+              ("xori", 0b100), ("ori", 0b110), ("andi", 0b111)]:
+    _add(InstrSpec(m, "I", 0b0010011, f3))
+_add(InstrSpec("slli", "I", 0b0010011, 0b001, 0b0000000))
+_add(InstrSpec("srli", "I", 0b0010011, 0b101, 0b0000000))
+_add(InstrSpec("srai", "I", 0b0010011, 0b101, 0b0100000))
+
+# Loads / stores
+for m, f3 in [("lb", 0b000), ("lh", 0b001), ("lw", 0b010),
+              ("lbu", 0b100), ("lhu", 0b101)]:
+    _add(InstrSpec(m, "I", 0b0000011, f3, unit=UNIT_LSU, latency=2))
+for m, f3 in [("sb", 0b000), ("sh", 0b001), ("sw", 0b010)]:
+    _add(InstrSpec(m, "S", 0b0100011, f3, unit=UNIT_LSU, latency=1))
+
+# Branches
+for m, f3 in [("beq", 0b000), ("bne", 0b001), ("blt", 0b100),
+              ("bge", 0b101), ("bltu", 0b110), ("bgeu", 0b111)]:
+    _add(InstrSpec(m, "B", 0b1100011, f3, unit=UNIT_BRANCH))
+
+# Jumps / upper immediates
+_add(InstrSpec("jal", "J", 0b1101111, unit=UNIT_BRANCH))
+_add(InstrSpec("jalr", "I", 0b1100111, 0b000, unit=UNIT_BRANCH))
+_add(InstrSpec("lui", "U", 0b0110111))
+_add(InstrSpec("auipc", "U", 0b0010111))
+
+# Environment (used as halt marker)
+_add(InstrSpec("ebreak", "I", 0b1110011, 0b000))
+
+
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+    "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+REG_NAMES = {v: k for k, v in ABI_NAMES.items() if k != "fp"}
+
+
+def parse_register(text: str) -> int:
+    text = text.strip().lower()
+    if text in ABI_NAMES:
+        return ABI_NAMES[text]
+    if text.startswith("x") and text[1:].isdigit():
+        n = int(text[1:])
+        if 0 <= n < 32:
+            return n
+    raise ValueError(f"unknown register '{text}'")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    label: str | None = None   # unresolved branch/jump target
+
+    @property
+    def spec(self) -> InstrSpec:
+        return SPECS[self.mnemonic]
+
+    @property
+    def unit(self) -> str:
+        return self.spec.unit
+
+    def __str__(self) -> str:
+        spec = self.spec
+        rd = REG_NAMES.get(self.rd, f"x{self.rd}")
+        rs1 = REG_NAMES.get(self.rs1, f"x{self.rs1}")
+        rs2 = REG_NAMES.get(self.rs2, f"x{self.rs2}")
+        if spec.fmt == "R":
+            return f"{self.mnemonic} {rd}, {rs1}, {rs2}"
+        if spec.fmt == "I":
+            if spec.opcode == 0b0000011:
+                return f"{self.mnemonic} {rd}, {self.imm}({rs1})"
+            return f"{self.mnemonic} {rd}, {rs1}, {self.imm}"
+        if spec.fmt == "S":
+            return f"{self.mnemonic} {rs2}, {self.imm}({rs1})"
+        if spec.fmt == "B":
+            target = self.label or str(self.imm)
+            return f"{self.mnemonic} {rs1}, {rs2}, {target}"
+        if spec.fmt == "U":
+            return f"{self.mnemonic} {rd}, {self.imm}"
+        if spec.fmt == "J":
+            target = self.label or str(self.imm)
+            return f"{self.mnemonic} {rd}, {target}"
+        return self.mnemonic
+
+
+def _field(value: int, hi: int, lo: int) -> int:
+    return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def encode(instr: Instruction) -> int:
+    """Encode to the 32-bit RISC-V machine word."""
+    spec = instr.spec
+    op = spec.opcode
+    if spec.fmt == "R":
+        return ((spec.funct7 << 25) | (instr.rs2 << 20) | (instr.rs1 << 15)
+                | (spec.funct3 << 12) | (instr.rd << 7) | op)
+    if spec.fmt == "I":
+        imm = instr.imm & 0xFFF
+        if spec.funct7 is not None:  # shifts carry funct7 in imm[11:5]
+            imm = (spec.funct7 << 5) | (instr.imm & 0x1F)
+        if instr.mnemonic == "ebreak":
+            imm = 1
+        return ((imm << 20) | (instr.rs1 << 15) | (spec.funct3 << 12)
+                | (instr.rd << 7) | op)
+    if spec.fmt == "S":
+        imm = instr.imm & 0xFFF
+        return ((_field(imm, 11, 5) << 25) | (instr.rs2 << 20)
+                | (instr.rs1 << 15) | (spec.funct3 << 12)
+                | (_field(imm, 4, 0) << 7) | op)
+    if spec.fmt == "B":
+        imm = instr.imm & 0x1FFF
+        return ((_field(imm, 12, 12) << 31) | (_field(imm, 10, 5) << 25)
+                | (instr.rs2 << 20) | (instr.rs1 << 15)
+                | (spec.funct3 << 12) | (_field(imm, 4, 1) << 8)
+                | (_field(imm, 11, 11) << 7) | op)
+    if spec.fmt == "U":
+        return ((instr.imm & 0xFFFFF) << 12) | (instr.rd << 7) | op
+    if spec.fmt == "J":
+        imm = instr.imm & 0x1FFFFF
+        return ((_field(imm, 20, 20) << 31) | (_field(imm, 10, 1) << 21)
+                | (_field(imm, 11, 11) << 20) | (_field(imm, 19, 12) << 12)
+                | (instr.rd << 7) | op)
+    raise ValueError(f"cannot encode format {spec.fmt}")
+
+
+def _sext(value: int, bits: int) -> int:
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit machine word back to an :class:`Instruction`."""
+    op = word & 0x7F
+    funct3 = _field(word, 14, 12)
+    funct7 = _field(word, 31, 25)
+    rd = _field(word, 11, 7)
+    rs1 = _field(word, 19, 15)
+    rs2 = _field(word, 24, 20)
+
+    if op == 0b0110011:  # R-type
+        for spec in SPECS.values():
+            if spec.fmt == "R" and spec.funct3 == funct3 and spec.funct7 == funct7:
+                return Instruction(spec.mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+        raise ValueError(f"unknown R-type funct3={funct3} funct7={funct7}")
+    if op == 0b0010011:  # I-type ALU
+        if funct3 == 0b001:
+            return Instruction("slli", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 0b101:
+            name = "srai" if funct7 == 0b0100000 else "srli"
+            return Instruction(name, rd=rd, rs1=rs1, imm=rs2)
+        for spec in SPECS.values():
+            if spec.fmt == "I" and spec.opcode == op and spec.funct3 == funct3 \
+                    and spec.funct7 is None:
+                return Instruction(spec.mnemonic, rd=rd, rs1=rs1,
+                                   imm=_sext(_field(word, 31, 20), 12))
+    if op == 0b0000011:  # loads
+        for spec in SPECS.values():
+            if spec.opcode == op and spec.funct3 == funct3:
+                return Instruction(spec.mnemonic, rd=rd, rs1=rs1,
+                                   imm=_sext(_field(word, 31, 20), 12))
+    if op == 0b0100011:  # stores
+        imm = (_field(word, 31, 25) << 5) | _field(word, 11, 7)
+        for spec in SPECS.values():
+            if spec.opcode == op and spec.funct3 == funct3:
+                return Instruction(spec.mnemonic, rs1=rs1, rs2=rs2,
+                                   imm=_sext(imm, 12))
+    if op == 0b1100011:  # branches
+        imm = ((_field(word, 31, 31) << 12) | (_field(word, 7, 7) << 11)
+               | (_field(word, 30, 25) << 5) | (_field(word, 11, 8) << 1))
+        for spec in SPECS.values():
+            if spec.opcode == op and spec.funct3 == funct3:
+                return Instruction(spec.mnemonic, rs1=rs1, rs2=rs2,
+                                   imm=_sext(imm, 13))
+    if op == 0b1101111:  # jal
+        imm = ((_field(word, 31, 31) << 20) | (_field(word, 19, 12) << 12)
+               | (_field(word, 20, 20) << 11) | (_field(word, 30, 21) << 1))
+        return Instruction("jal", rd=rd, imm=_sext(imm, 21))
+    if op == 0b1100111:
+        return Instruction("jalr", rd=rd, rs1=rs1,
+                           imm=_sext(_field(word, 31, 20), 12))
+    if op == 0b0110111:
+        return Instruction("lui", rd=rd, imm=_field(word, 31, 12))
+    if op == 0b0010111:
+        return Instruction("auipc", rd=rd, imm=_field(word, 31, 12))
+    if op == 0b1110011:
+        return Instruction("ebreak")
+    raise ValueError(f"cannot decode word 0x{word:08x}")

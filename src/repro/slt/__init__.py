@@ -1,0 +1,24 @@
+"""``repro.slt`` — system-level-test program generation (Section V, Fig. 5).
+
+The LLM optimization loop (candidate pool, Levenshtein diversity, SCoT
+prompting, simulated-annealing temperature adaptation) plus the genetic-
+programming baseline, both scored on the simulated BOOM/FPGA power rig.
+"""
+
+from .gp import GeneticProgramming, GpConfig, run_gp_slt
+from .loop import (LoopEvent, SltConfig, SltOptimizer, SltRunResult,
+                   run_llm_slt)
+from .pool import Candidate, CandidatePool
+from .scot import SltSnippetGenerator, SnippetGeneration
+from .snippets import (HANDWRITTEN_SEEDS, RANGES, SnippetGenome, crossover,
+                       mutate_genome, random_genome)
+from .stop import StopCondition
+from .temperature import TemperatureController
+
+__all__ = [
+    "Candidate", "CandidatePool", "GeneticProgramming", "GpConfig",
+    "HANDWRITTEN_SEEDS", "LoopEvent", "RANGES", "SltConfig", "SltOptimizer",
+    "SltRunResult", "SltSnippetGenerator", "SnippetGeneration",
+    "SnippetGenome", "StopCondition", "TemperatureController", "crossover",
+    "mutate_genome", "random_genome", "run_gp_slt", "run_llm_slt",
+]

@@ -1,0 +1,170 @@
+"""The SLT optimization loop of Fig. 5.
+
+Flow per iteration (exactly the paper's boxes):
+
+1. pick *n* random examples from the candidate pool,
+2. build the prompt (SCoT, power-annotated examples) and query the LLM,
+3. evaluate the snippet on the (simulated) FPGA power rig — score is zero
+   when the snippet does not compile or raises an unwanted exception,
+4. admit to / reject from the candidate pool (Levenshtein diversity rule),
+5. check stop conditions,
+6. adapt the LLM temperature from the score and the pool distance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..llm.model import SimulatedLLM, _stable_seed
+from ..riscv.fpga import FpgaPowerMeter
+from .pool import Candidate, CandidatePool
+from .scot import SltSnippetGenerator
+from .snippets import HANDWRITTEN_SEEDS, SnippetGenome
+from .stop import StopCondition
+from .temperature import TemperatureController
+
+
+@dataclass
+class LoopEvent:
+    snippet_id: int
+    elapsed_hours: float
+    power_w: float
+    best_w: float
+    temperature: float
+    admitted: bool
+    compiled: bool
+
+
+@dataclass
+class SltRunResult:
+    best_power_w: float
+    best_source: str
+    snippets_generated: int
+    elapsed_hours: float
+    stop_reason: str
+    events: list[LoopEvent] = field(default_factory=list)
+    pool_final_diversity: float = 0.0
+    compile_failures: int = 0
+
+    def best_over_time(self) -> list[tuple[float, float]]:
+        """(hours, best-so-far watts) series for plotting Fig. 5-style curves."""
+        return [(e.elapsed_hours, e.best_w) for e in self.events]
+
+    def summary(self) -> str:
+        return (f"{self.snippets_generated} snippets in "
+                f"{self.elapsed_hours:.1f}h; best {self.best_power_w:.3f}W; "
+                f"stop: {self.stop_reason}")
+
+
+@dataclass
+class SltConfig:
+    examples_per_prompt: int = 3
+    pool_capacity: int = 12
+    min_pool_distance: int = 8
+    use_scot: bool = True
+    adapt_temperature: bool = True
+    fixed_temperature: float = 0.7
+    enforce_diversity: bool = True
+
+
+class SltOptimizer:
+    """LLM-based system-level-test program optimization (Fig. 5)."""
+
+    def __init__(self, llm: SimulatedLLM, meter: FpgaPowerMeter,
+                 config: SltConfig | None = None, seed: int = 0):
+        self.llm = llm
+        self.meter = meter
+        self.config = config or SltConfig()
+        self.seed = seed
+        self.generator = SltSnippetGenerator(llm, use_scot=self.config.use_scot,
+                                             seed=seed)
+        self.pool = CandidatePool(
+            capacity=self.config.pool_capacity,
+            min_distance=self.config.min_pool_distance
+            if self.config.enforce_diversity else 0)
+        self.temperature = TemperatureController(
+            initial=self.config.fixed_temperature)
+
+    def _seed_pool(self) -> None:
+        """Handwritten example programs seed the candidate pool."""
+        for i, genome in enumerate(HANDWRITTEN_SEEDS):
+            source = genome.render()
+            measurement = self.meter.measure_c(source)
+            power = measurement.watts if measurement.ok else 0.0
+            self.pool.consider(Candidate(source, genome, power, -(i + 1)))
+
+    def run(self, stop: StopCondition) -> SltRunResult:
+        rng = random.Random(_stable_seed(self.seed, self.llm.profile.name,
+                                         "slt-loop"))
+        self._seed_pool()
+        best = self.pool.best
+        best_power = best.power_w if best else 0.0
+        best_source = best.source if best else ""
+        events: list[LoopEvent] = []
+        compile_failures = 0
+        snippet_id = 0
+        since_improvement = 0
+        reason = "no iterations"
+
+        while True:
+            reason_now = stop.should_stop(self.meter.elapsed_hours,
+                                          snippet_id, since_improvement)
+            if reason_now is not None:
+                reason = reason_now
+                break
+            snippet_id += 1
+
+            examples = self.pool.sample_examples(
+                self.config.examples_per_prompt, rng)
+            generation = self.generator.generate(
+                examples, self.temperature.temperature, snippet_id)
+            measurement = self.meter.measure_c(generation.source)
+            power = measurement.watts if measurement.ok else 0.0
+            if not measurement.ok:
+                compile_failures += 1
+
+            admitted = False
+            distance = self.pool.distance_to_pool(generation.source)
+            if measurement.ok:
+                admitted = self.pool.consider(Candidate(
+                    generation.source, generation.genome, power, snippet_id))
+            if power > best_power:
+                best_power = power
+                best_source = generation.source
+                since_improvement = 0
+            else:
+                since_improvement += 1
+
+            if self.config.adapt_temperature:
+                self.temperature.update(power, best_power, distance,
+                                        self.pool.min_distance)
+            events.append(LoopEvent(
+                snippet_id, self.meter.elapsed_hours, power, best_power,
+                self.temperature.temperature, admitted, measurement.ok))
+            reason = "exhausted"
+
+        return SltRunResult(
+            best_power_w=best_power,
+            best_source=best_source,
+            snippets_generated=snippet_id,
+            elapsed_hours=self.meter.elapsed_hours,
+            stop_reason=reason,
+            events=events,
+            pool_final_diversity=self.pool.mean_pairwise_distance(),
+            compile_failures=compile_failures,
+        )
+
+
+def run_llm_slt(model: str = "codellama-34b-instruct-ft", hours: float = 24.0,
+                seed: int = 0, use_scot: bool = True,
+                adapt_temperature: bool = True,
+                enforce_diversity: bool = True,
+                meter: FpgaPowerMeter | None = None) -> SltRunResult:
+    """One-call LLM SLT run with the paper's default setup."""
+    meter = meter or FpgaPowerMeter(seed=seed)
+    config = SltConfig(use_scot=use_scot, adapt_temperature=adapt_temperature,
+                       enforce_diversity=enforce_diversity)
+    optimizer = SltOptimizer(SimulatedLLM(model, seed=seed), meter, config,
+                             seed=seed)
+    return optimizer.run(StopCondition(max_hours=hours))

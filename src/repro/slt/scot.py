@@ -1,0 +1,126 @@
+"""LLM snippet generation with Structural Chain-of-Thought (Section V).
+
+SCoT is two-stage: the model first writes pseudocode for the stressor, then
+translates it to C, with a hint that the pseudocode may contain errors.  In
+the simulation the pseudocode stage (a) materially reduces the probability
+of emitting non-compiling code and (b) slightly dampens diversity, matching
+:func:`repro.llm.prompts.prompt_effects` for the SCOT strategy.
+
+Few-shot examples carry their measured power (the paper annotates examples
+with power so the model knows "which of the examples is better and which to
+avoid") — exploitation anchors on the best annotated example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..llm.model import SimulatedLLM, _stable_seed
+from ..llm.tokenizer import count_tokens
+from .pool import Candidate
+from .snippets import SnippetGenome, mutate_genome, random_genome
+
+
+@dataclass
+class SnippetGeneration:
+    source: str
+    genome: SnippetGenome | None
+    pseudocode: str
+    compiles_intent: bool       # whether the model intended valid code
+    anchored_on: int | None     # snippet id of the example exploited
+
+
+def _corrupt(source: str, rng: random.Random) -> str:
+    """Make a snippet non-compiling the way LLM output actually fails."""
+    mode = rng.randrange(3)
+    if mode == 0 and ";" in source:
+        pos = [i for i, c in enumerate(source) if c == ";"]
+        cut = rng.choice(pos)
+        return source[:cut] + source[cut + 1:]
+    if mode == 1 and "}" in source:
+        return source.rsplit("}", 1)[0]
+    return source.replace("int main", "int man", 1)
+
+
+def _pseudocode_for(genome: SnippetGenome) -> str:
+    lines = ["PLAN:"]
+    lines.append(f"  initialize {genome.n_accs} independent accumulators")
+    if genome.mem_size:
+        lines.append(f"  allocate a {genome.mem_size}-word scratch buffer and "
+                     f"pre-fill it")
+    lines.append(f"  loop {genome.loop_iters} times "
+                 f"(unrolled x{genome.unroll}):")
+    if genome.mul_ops:
+        lines.append(f"    feed {genome.mul_ops} multiplies per accumulator "
+                     f"to saturate the multiplier")
+    if genome.xor_ops or genome.add_ops:
+        lines.append(f"    mix in {genome.xor_ops} xors and "
+                     f"{genome.add_ops} adds to keep ALUs busy")
+    if genome.mem_size:
+        lines.append(f"    stream the buffer with stride {genome.mem_stride} "
+                     f"to exercise the LSU")
+    if genome.div_every:
+        lines.append("    sprinkle divisions for the divider unit")
+    lines.append("  return the accumulator sum so nothing is optimized away")
+    return "\n".join(lines)
+
+
+class SltSnippetGenerator:
+    """Wraps a simulated model for power-stressor C generation."""
+
+    def __init__(self, llm: SimulatedLLM, use_scot: bool = True,
+                 seed: int = 0):
+        self.llm = llm
+        self.use_scot = use_scot
+        self.seed = seed
+        self.calls = 0
+
+    def generate(self, examples: list[Candidate], temperature: float,
+                 sample_index: int) -> SnippetGeneration:
+        profile = self.llm.profile
+        rng = random.Random(_stable_seed(self.seed, profile.name,
+                                         "slt", sample_index,
+                                         round(temperature, 3)))
+        self.calls += 1
+
+        # Exploit-vs-explore: low temperature anchors on the best example.
+        exploit_p = max(0.05, 1.0 - temperature * 0.7)
+        anchored: int | None = None
+        genome_examples = [e for e in examples if e.genome is not None]
+        if genome_examples and rng.random() < exploit_p:
+            # Power annotations let the model pick the best example;
+            # a model that ignores instructions picks at random.
+            if rng.random() < profile.instruction_following:
+                base = max(genome_examples, key=lambda e: e.power_w)
+            else:
+                base = rng.choice(genome_examples)
+            anchored = base.snippet_id
+            strength = 0.4 + temperature * 0.8
+            genome = mutate_genome(base.genome, rng, realistic=True,
+                                   strength=strength)
+        else:
+            genome = random_genome(rng, realistic=True)
+        genome = genome.clamped(realistic=True)
+
+        pseudocode = _pseudocode_for(genome) if self.use_scot else ""
+        source = genome.render()
+
+        # Compile-failure channel: SCoT and C strength reduce it; high
+        # temperature increases it.
+        fail_p = (1.0 - profile.syntax_reliability) \
+            * (1.3 - 0.6 * profile.c_strength) \
+            * (0.55 if self.use_scot else 1.0) \
+            * (0.7 + 0.6 * temperature)
+        compiles_intent = True
+        if rng.random() < min(0.9, fail_p):
+            source = _corrupt(source, rng)
+            compiles_intent = False
+
+        # Token accounting: SCoT costs an extra call.
+        prompt_tokens = sum(count_tokens(e.source) for e in examples) + 64
+        completion_tokens = count_tokens(source) + count_tokens(pseudocode)
+        self.llm.usage.record(prompt_tokens, completion_tokens,
+                              calls=2 if self.use_scot else 1)
+        return SnippetGeneration(source, genome, pseudocode,
+                                 compiles_intent, anchored)

@@ -1,0 +1,34 @@
+"""Stop conditions for the SLT optimization loop (Fig. 5).
+
+"We then check if any stop condition is fulfilled, for example, the number
+of snippets, time, or the user stopping the process manually."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StopCondition:
+    """Composite stop condition; any satisfied clause stops the loop."""
+
+    max_hours: float | None = None
+    max_snippets: int | None = None
+    manual_stop: bool = False
+    plateau_snippets: int | None = None    # stop after N snippets w/o improvement
+
+    def should_stop(self, elapsed_hours: float, snippets: int,
+                    snippets_since_improvement: int) -> str | None:
+        """Returns the reason to stop, or None to continue."""
+        if self.manual_stop:
+            return "manual stop"
+        if self.max_hours is not None and elapsed_hours >= self.max_hours:
+            return f"time budget reached ({self.max_hours}h)"
+        if self.max_snippets is not None and snippets >= self.max_snippets:
+            return f"snippet budget reached ({self.max_snippets})"
+        if self.plateau_snippets is not None \
+                and snippets_since_improvement >= self.plateau_snippets:
+            return f"plateau ({self.plateau_snippets} snippets without " \
+                   f"improvement)"
+        return None

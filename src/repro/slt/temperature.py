@@ -1,0 +1,69 @@
+"""Dynamic LLM-temperature adaptation (Section V).
+
+"Lower temperature allows the LLM to focus more on improving the examples
+from the candidate pool (exploitation), while a higher temperature allows it
+to generate more diverse code snippets (exploration).  The idea is borrowed
+from simulated annealing.  The adaptation follows a dynamic schedule that
+depends on the score of the generated snippet as well as its Levenshtein
+distance to the other snippets in the pool."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TemperatureController:
+    """Score- and diversity-driven temperature schedule."""
+
+    initial: float = 0.7
+    minimum: float = 0.2
+    maximum: float = 1.3
+    cool_step: float = 0.06
+    heat_step: float = 0.10
+
+    def __post_init__(self) -> None:
+        self.temperature = self.initial
+        self.history: list[float] = [self.initial]
+        self._stale_rounds = 0
+
+    def update(self, score: float, best_score: float,
+               distance_to_pool: int, min_distance: int) -> float:
+        """Adapt after one generation/evaluation round.
+
+        * a good snippet (near the best) that is also novel → cool down and
+          exploit the neighbourhood;
+        * a failing or me-too snippet → heat up and explore;
+        * long stagnation → progressively stronger heating (annealing restart).
+        """
+        improved = best_score > 0 and score >= best_score * 0.98
+        novel = distance_to_pool > min_distance
+
+        if score <= 0:
+            # Non-compiling or crashing snippet: explore away.
+            self.temperature += self.heat_step
+            self._stale_rounds += 1
+        elif improved and novel:
+            self.temperature -= self.cool_step
+            self._stale_rounds = 0
+        elif improved:
+            # Good but too similar: the pool needs diversity.
+            self.temperature += self.heat_step * 0.5
+            self._stale_rounds = 0
+        elif novel:
+            # Novel but mediocre: mild cooling toward exploitation.
+            self.temperature -= self.cool_step * 0.5
+            self._stale_rounds += 1
+        else:
+            self.temperature += self.heat_step * 0.75
+            self._stale_rounds += 1
+
+        if self._stale_rounds and self._stale_rounds % 25 == 0:
+            self.temperature = min(self.maximum,
+                                   self.temperature + 3 * self.heat_step)
+
+        self.temperature = max(self.minimum, min(self.maximum,
+                                                 self.temperature))
+        self.history.append(self.temperature)
+        return self.temperature

@@ -1,0 +1,26 @@
+"""``repro.synth`` — logic synthesis: AIG construction, optimization,
+technology mapping, PPA estimation, and equivalence checking.
+
+Substitutes for the ABC-class logic synthesis and PPA reporting the paper's
+flows consume (LLSM context, MCP4EDA's PPA-driven iteration, HLS pragma
+optimization).
+"""
+
+from .aig import Aig, FALSE, TRUE, lit, lit_compl, lit_node, negate
+from .cec import CecResult, check_against_simulation, check_aigs
+from .flatten import flatten, synthesize_source
+from .optimize import DEFAULT_SCRIPT, OptResult, balance, optimize, rewrite, sweep
+from .ppa import PpaReport, estimate_activity, estimate_ppa
+from .synthesize import (FlopSpec, SynthesisError, SynthesizedModule,
+                         synthesize_module)
+from .techmap import CellMapping, LutMapping, map_to_cells, map_to_luts
+
+__all__ = [
+    "Aig", "CecResult", "CellMapping", "DEFAULT_SCRIPT", "FALSE", "FlopSpec",
+    "LutMapping", "OptResult", "PpaReport", "SynthesisError",
+    "SynthesizedModule", "TRUE", "balance", "check_against_simulation",
+    "check_aigs", "estimate_activity", "estimate_ppa", "flatten",
+    "synthesize_source", "lit", "lit_compl",
+    "lit_node", "map_to_cells", "map_to_luts", "negate", "optimize",
+    "rewrite", "sweep", "synthesize_module",
+]

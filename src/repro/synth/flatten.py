@@ -1,0 +1,232 @@
+"""Hierarchy flattening for synthesis.
+
+``synthesize_module`` is a leaf-module synthesizer; this pass inlines module
+instances into their parent (with per-instance renaming and port-stitching
+assigns) so hierarchical designs — like the crypto-round benchmark with its
+s-box submodules — synthesize to one AIG.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..hdl import ast as A
+from ..hdl.elaborate import eval_const
+from .synthesize import SynthesisError
+
+_MAX_DEPTH = 16
+
+
+def _rename_expr(expr: A.Expr, mapping: dict[str, str],
+                 params: dict[str, int]) -> A.Expr:
+    if isinstance(expr, A.Identifier):
+        if expr.name in params:
+            return A.Number(32, params[expr.name])
+        return A.Identifier(mapping.get(expr.name, expr.name), expr.loc)
+    if isinstance(expr, A.Unary):
+        return A.Unary(expr.op, _rename_expr(expr.operand, mapping, params))
+    if isinstance(expr, A.Binary):
+        return A.Binary(expr.op, _rename_expr(expr.left, mapping, params),
+                        _rename_expr(expr.right, mapping, params))
+    if isinstance(expr, A.Ternary):
+        return A.Ternary(_rename_expr(expr.cond, mapping, params),
+                         _rename_expr(expr.if_true, mapping, params),
+                         _rename_expr(expr.if_false, mapping, params))
+    if isinstance(expr, A.Concat):
+        return A.Concat(tuple(_rename_expr(p, mapping, params)
+                              for p in expr.parts))
+    if isinstance(expr, A.Replicate):
+        return A.Replicate(_rename_expr(expr.count, mapping, params),
+                           _rename_expr(expr.inner, mapping, params))
+    if isinstance(expr, A.Index):
+        return A.Index(mapping.get(expr.target, expr.target),
+                       _rename_expr(expr.index, mapping, params), expr.loc)
+    if isinstance(expr, A.Slice):
+        return A.Slice(mapping.get(expr.target, expr.target),
+                       _rename_expr(expr.msb, mapping, params),
+                       _rename_expr(expr.lsb, mapping, params), expr.loc)
+    if isinstance(expr, A.FunctionCall):
+        return A.FunctionCall(mapping.get(expr.name, expr.name),
+                              tuple(_rename_expr(a, mapping, params)
+                                    for a in expr.args), expr.loc)
+    if isinstance(expr, A.SystemCall):
+        return A.SystemCall(expr.name,
+                            tuple(_rename_expr(a, mapping, params)
+                                  for a in expr.args))
+    return expr
+
+
+def _rename_stmt(stmt: A.Stmt, mapping: dict[str, str],
+                 params: dict[str, int]) -> A.Stmt:
+    if isinstance(stmt, A.Assign):
+        target = dataclasses.replace(
+            stmt.target, name=mapping.get(stmt.target.name, stmt.target.name),
+            index=_rename_expr(stmt.target.index, mapping, params)
+            if stmt.target.index is not None else None,
+            msb=_rename_expr(stmt.target.msb, mapping, params)
+            if stmt.target.msb is not None else None,
+            lsb=_rename_expr(stmt.target.lsb, mapping, params)
+            if stmt.target.lsb is not None else None)
+        return A.Assign(target, _rename_expr(stmt.expr, mapping, params),
+                        stmt.blocking, stmt.loc)
+    if isinstance(stmt, A.Block):
+        return A.Block(tuple(_rename_stmt(s, mapping, params)
+                             for s in stmt.stmts))
+    if isinstance(stmt, A.If):
+        return A.If(_rename_expr(stmt.cond, mapping, params),
+                    _rename_stmt(stmt.then, mapping, params),
+                    _rename_stmt(stmt.other, mapping, params)
+                    if stmt.other is not None else None)
+    if isinstance(stmt, A.Case):
+        return A.Case(_rename_expr(stmt.subject, mapping, params),
+                      tuple(A.CaseItem(
+                          tuple(_rename_expr(l, mapping, params)
+                                for l in item.labels)
+                          if item.labels is not None else None,
+                          _rename_stmt(item.body, mapping, params))
+                          for item in stmt.items), stmt.wildcard)
+    if isinstance(stmt, A.For):
+        return A.For(_rename_stmt(stmt.init, mapping, params),
+                     _rename_expr(stmt.cond, mapping, params),
+                     _rename_stmt(stmt.step, mapping, params),
+                     _rename_stmt(stmt.body, mapping, params))
+    if isinstance(stmt, A.SysTask):
+        return A.SysTask(stmt.name, tuple(_rename_expr(a, mapping, params)
+                                          for a in stmt.args), stmt.loc)
+    return stmt
+
+
+def _resolve_range(rng: A.Range | None, params: dict[str, int]) -> A.Range | None:
+    if rng is None:
+        return None
+    return A.Range(A.Number(32, eval_const(rng.msb, params)),
+                   A.Number(32, eval_const(rng.lsb, params)))
+
+
+def flatten(source: A.SourceFile, top: str, _depth: int = 0) -> A.Module:
+    """Inline every instance of ``top`` recursively; returns a leaf module."""
+    if _depth > _MAX_DEPTH:
+        raise SynthesisError(f"hierarchy deeper than {_MAX_DEPTH} under '{top}'")
+    if top not in source.modules:
+        raise SynthesisError(f"module '{top}' not found for flattening")
+    module = source.modules[top]
+    if not module.instances:
+        return module
+
+    parent_params: dict[str, int] = {}
+    for p in module.parameters:
+        parent_params[p.name] = eval_const(p.default, parent_params)
+
+    nets = list(module.nets)
+    assigns = list(module.assigns)
+    always_blocks = list(module.always_blocks)
+    functions = list(module.functions)
+
+    for inst in module.instances:
+        if inst.module not in source.modules:
+            raise SynthesisError(f"instance '{inst.name}' references unknown "
+                                 f"module '{inst.module}'")
+        child = flatten(source, inst.module, _depth + 1)
+
+        # Child parameters with overrides become constants.
+        child_params: dict[str, int] = {}
+        nonlocal_params = [p for p in child.parameters if not p.local]
+        overrides: dict[str, int] = {}
+        for pos, (pname, pexpr) in enumerate(inst.param_overrides):
+            value = eval_const(pexpr, parent_params)
+            if pname is None:
+                overrides[nonlocal_params[pos].name] = value
+            else:
+                overrides[pname] = value
+        for p in child.parameters:
+            child_params[p.name] = overrides.get(
+                p.name, eval_const(p.default, child_params))
+
+        prefix = f"u_{inst.name}_"
+        mapping: dict[str, str] = {}
+        for port in child.ports:
+            mapping[port.name] = prefix + port.name
+        for net in child.nets:
+            mapping[net.name] = prefix + net.name
+        for func in child.functions:
+            mapping[func.name] = prefix + func.name
+
+        # Declare port shadow nets and internal nets.
+        for port in child.ports:
+            kind = "reg" if port.is_reg else "wire"
+            nets.append(A.Net(prefix + port.name, kind,
+                              _resolve_range(port.rng, child_params)))
+        for net in child.nets:
+            nets.append(A.Net(prefix + net.name, net.kind,
+                              _resolve_range(net.rng, child_params),
+                              _rename_expr(net.init, mapping, child_params)
+                              if net.init is not None else None))
+
+        # Inline child logic.
+        for ca in child.assigns:
+            target = dataclasses.replace(
+                ca.target, name=mapping.get(ca.target.name, ca.target.name))
+            assigns.append(A.ContinuousAssign(
+                target, _rename_expr(ca.expr, mapping, child_params), ca.loc))
+        for alw in child.always_blocks:
+            edges = tuple((kind, mapping.get(sig, sig))
+                          for kind, sig in alw.edges)
+            always_blocks.append(A.Always(
+                edges, _rename_stmt(alw.body, mapping, child_params), alw.loc))
+        for func in child.functions:
+            functions.append(dataclasses.replace(
+                func, name=prefix + func.name,
+                body=_rename_stmt(func.body, mapping, child_params)))
+
+        # Stitch ports.
+        conns: list[tuple[A.Port, A.Expr | None]] = []
+        if inst.connections and inst.connections[0][0] is None:
+            for port, (_, expr) in zip(child.ports, inst.connections):
+                conns.append((port, expr))
+        else:
+            by_name = {p.name: p for p in child.ports}
+            for pname, expr in inst.connections:
+                if pname not in by_name:
+                    raise SynthesisError(f"module '{child.name}' has no "
+                                         f"port '{pname}'")
+                conns.append((by_name[pname], expr))
+        for port, expr in conns:
+            if expr is None:
+                continue
+            shadow = prefix + port.name
+            if port.direction == "input":
+                assigns.append(A.ContinuousAssign(
+                    A.LValue(shadow), expr, inst.loc))
+            elif port.direction == "output":
+                if isinstance(expr, A.Identifier):
+                    assigns.append(A.ContinuousAssign(
+                        A.LValue(expr.name), A.Identifier(shadow), inst.loc))
+                elif isinstance(expr, A.Slice):
+                    assigns.append(A.ContinuousAssign(
+                        A.LValue(expr.target, None, expr.msb, expr.lsb),
+                        A.Identifier(shadow), inst.loc))
+                elif isinstance(expr, A.Index):
+                    assigns.append(A.ContinuousAssign(
+                        A.LValue(expr.target, expr.index),
+                        A.Identifier(shadow), inst.loc))
+                else:
+                    raise SynthesisError(
+                        f"output port '{port.name}' of '{inst.name}' must "
+                        f"connect to a signal, bit-select, or part-select")
+            else:
+                raise SynthesisError("inout ports are not synthesizable")
+
+    return dataclasses.replace(
+        module, nets=tuple(nets), assigns=tuple(assigns),
+        always_blocks=tuple(always_blocks), functions=tuple(functions),
+        instances=())
+
+
+def synthesize_source(source_text: str, top: str):
+    """Parse, flatten and synthesize a (possibly hierarchical) design."""
+    from ..hdl import parse
+    from .synthesize import synthesize_module
+
+    sf = parse(source_text)
+    flat = flatten(sf, top)
+    return synthesize_module(flat)

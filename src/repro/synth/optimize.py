@@ -1,0 +1,137 @@
+"""AIG optimization passes: sweep, algebraic rewrite, and balance.
+
+These play the role ABC's ``strash; rewrite; balance`` script plays in the
+paper's synthesis flows: reduce node count (area proxy) and logic depth
+(delay proxy) before technology mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .aig import FALSE, Aig, lit_compl, lit_node, negate
+
+
+@dataclass
+class OptResult:
+    aig: Aig
+    history: list[dict] = field(default_factory=list)
+
+
+def sweep(aig: Aig) -> Aig:
+    """Remove logic not reachable from any output."""
+    return aig.cleanup()
+
+
+def _collect_and_leaves(aig: Aig, literal: int, refcount: dict[int, int],
+                        leaves: list[int], depth_budget: int = 64) -> None:
+    """Flatten a single-fanout AND tree rooted at ``literal`` into its leaves."""
+    node = lit_node(literal)
+    if (lit_compl(literal) or aig.is_input(node) or node == 0
+            or refcount.get(node, 0) > 1 or depth_budget == 0):
+        leaves.append(literal)
+        return
+    a, b = aig.fanins(node)
+    _collect_and_leaves(aig, a, refcount, leaves, depth_budget - 1)
+    _collect_and_leaves(aig, b, refcount, leaves, depth_budget - 1)
+
+
+def balance(aig: Aig) -> Aig:
+    """Rebuild AND trees as balanced binary trees to reduce depth."""
+    refcount: dict[int, int] = {}
+    for node in aig.topological_order():
+        if not aig.is_input(node) and node != 0:
+            try:
+                a, b = aig.fanins(node)
+            except KeyError:
+                continue
+            refcount[lit_node(a)] = refcount.get(lit_node(a), 0) + 1
+            refcount[lit_node(b)] = refcount.get(lit_node(b), 0) + 1
+    for _, out in aig.outputs:
+        refcount[lit_node(out)] = refcount.get(lit_node(out), 0) + 1
+
+    out = Aig()
+    node_map: dict[int, int] = {0: FALSE}
+    for name, node in aig._input_ids.items():
+        node_map[node] = out.add_input(name)
+
+    def map_lit(literal: int) -> int:
+        base = node_map[lit_node(literal)]
+        return negate(base) if lit_compl(literal) else base
+
+    def build_balanced(leaves: list[int]) -> int:
+        mapped = sorted((map_lit(l) for l in leaves))
+        while len(mapped) > 1:
+            nxt: list[int] = []
+            for i in range(0, len(mapped) - 1, 2):
+                nxt.append(out.and_(mapped[i], mapped[i + 1]))
+            if len(mapped) % 2:
+                nxt.append(mapped[-1])
+            mapped = nxt
+        return mapped[0]
+
+    for node in aig.topological_order():
+        if aig.is_input(node) or node == 0:
+            if node not in node_map:
+                node_map[node] = FALSE
+            continue
+        leaves: list[int] = []
+        a, b = aig.fanins(node)
+        _collect_and_leaves(aig, a, refcount, leaves)
+        _collect_and_leaves(aig, b, refcount, leaves)
+        node_map[node] = build_balanced(leaves)
+    for name, literal in aig.outputs:
+        out.add_output(name, map_lit(literal))
+    return out.cleanup()
+
+
+def rewrite(aig: Aig) -> Aig:
+    """Algebraic rewrite: rebuilds through the structural hasher, which
+    folds constants, shares isomorphic cones, and cancels ``a & !a``."""
+    out = Aig()
+    node_map: dict[int, int] = {0: FALSE}
+    for name, node in aig._input_ids.items():
+        node_map[node] = out.add_input(name)
+
+    def map_lit(literal: int) -> int:
+        base = node_map[lit_node(literal)]
+        return negate(base) if lit_compl(literal) else base
+
+    for node in aig.topological_order():
+        if aig.is_input(node) or node == 0:
+            if node not in node_map:
+                node_map[node] = FALSE
+            continue
+        a, b = aig.fanins(node)
+        fa, fb = map_lit(a), map_lit(b)
+        # Absorption: a & (a & b) == a & b ; a & !(a & b) == a & !b
+        for x, y in ((fa, fb), (fb, fa)):
+            inner = out._ands.get(lit_node(y))
+            if inner is not None and not lit_compl(y):
+                if x in inner:
+                    fa, fb = y, y  # a & (a & b) -> (a & b)
+                    break
+        node_map[node] = out.and_(fa, fb)
+    for name, literal in aig.outputs:
+        out.add_output(name, map_lit(literal))
+    return out.cleanup()
+
+
+DEFAULT_SCRIPT = ("rewrite", "balance", "rewrite", "sweep")
+
+_PASSES = {"rewrite": rewrite, "balance": balance, "sweep": sweep}
+
+
+def optimize(aig: Aig, script: tuple[str, ...] = DEFAULT_SCRIPT) -> OptResult:
+    """Run an ABC-style pass script; records stats after each pass."""
+    result = OptResult(aig=aig)
+    result.history.append({"pass": "initial", **aig.stats()})
+    current = aig
+    for name in script:
+        fn = _PASSES.get(name)
+        if fn is None:
+            raise ValueError(f"unknown optimization pass '{name}'")
+        current = fn(current)
+        result.history.append({"pass": name, **current.stats()})
+    result.aig = current
+    return result

@@ -1,0 +1,750 @@
+"""RTL-to-AIG synthesis: bit-blast a mini-Verilog module into an AIG.
+
+Sequential logic is cut at the flop boundary: each register bit becomes an
+AIG input (its Q pin) and a corresponding ``<name>$next`` output (its D pin),
+recorded in :class:`SynthesizedModule.flops`.  The result feeds the
+optimizer, technology mapper and PPA model, and can be checked against the
+behavioural simulator by random-vector equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hdl import ast as A
+from ..hdl.elaborate import eval_const
+from .aig import FALSE, TRUE, Aig, negate
+
+
+class SynthesisError(Exception):
+    """Raised when a construct falls outside the synthesizable subset."""
+
+
+BitVec = list  # list[int] of AIG literals, LSB first
+
+
+@dataclass
+class FlopSpec:
+    name: str
+    width: int
+    has_async_reset: bool = False
+    reset_value: int = 0
+
+
+@dataclass
+class SynthesizedModule:
+    name: str
+    aig: Aig
+    flops: list[FlopSpec] = field(default_factory=list)
+    port_widths: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def is_sequential(self) -> bool:
+        return bool(self.flops)
+
+
+def _const_vec(value: int, width: int) -> BitVec:
+    return [TRUE if (value >> i) & 1 else FALSE for i in range(width)]
+
+
+class ModuleSynthesizer:
+    def __init__(self, module: A.Module):
+        self.module = module
+        self.aig = Aig()
+        self.params: dict[str, int] = {}
+        for p in module.parameters:
+            self.params[p.name] = eval_const(p.default, self.params)
+        self.widths: dict[str, int] = {}
+        self.kinds: dict[str, str] = {}
+        self._declare(module)
+        self.drivers: dict[str, tuple] = {}
+        self._index_drivers(module)
+        self.cache: dict[str, BitVec] = {}
+        self._resolving: set[str] = set()
+        self.flops: list[FlopSpec] = []
+        self.functions = {f.name: f for f in module.functions}
+
+    # -- declarations -----------------------------------------------------------
+
+    def _width_of_range(self, rng: A.Range | None) -> int:
+        if rng is None:
+            return 1
+        msb = eval_const(rng.msb, self.params)
+        lsb = eval_const(rng.lsb, self.params)
+        if lsb != 0:
+            raise SynthesisError("only [msb:0] ranges are synthesizable")
+        return msb + 1
+
+    def _declare(self, module: A.Module) -> None:
+        for port in module.ports:
+            self.widths[port.name] = self._width_of_range(port.rng)
+            self.kinds[port.name] = port.direction
+        for net in module.nets:
+            if net.name in self.widths:
+                continue
+            if net.kind == "integer":
+                self.widths[net.name] = 32
+                self.kinds[net.name] = "integer"
+            else:
+                self.widths[net.name] = self._width_of_range(net.rng)
+                self.kinds[net.name] = net.kind
+
+    def _index_drivers(self, module: A.Module) -> None:
+        if module.instances:
+            raise SynthesisError(
+                "hierarchical synthesis requires flattening; synthesize leaf modules")
+        if module.initial_blocks:
+            # Testbench-only construct; ignored for synthesis (initial values
+            # on regs are honoured via Net.init during simulation only).
+            pass
+        for net in module.nets:
+            if net.init is not None and net.kind == "wire":
+                # 'wire x = expr;' is a continuous assignment.
+                self.drivers[net.name] = ("assign", net.init)
+        for ca in module.assigns:
+            if ca.target.index is not None or ca.target.msb is not None:
+                # Partial drivers (bit/part-select assigns) accumulate; the
+                # pieces are stitched together in bits().
+                existing = self.drivers.get(ca.target.name)
+                if existing is None:
+                    self.drivers[ca.target.name] = ("partial", [ca])
+                elif existing[0] == "partial":
+                    existing[1].append(ca)
+                else:
+                    raise SynthesisError(
+                        f"mixed full and partial drivers for '{ca.target.name}'")
+                continue
+            if ca.target.name in self.drivers:
+                raise SynthesisError(f"multiple drivers for '{ca.target.name}'")
+            self.drivers[ca.target.name] = ("assign", ca.expr)
+        for alw in module.always_blocks:
+            clocked = alw.edges and any(k in ("posedge", "negedge") for k, _ in alw.edges)
+            written: set[str] = set()
+            from ..hdl.elaborate import stmt_writes
+            stmt_writes(alw.body, written)
+            tag = "ff" if clocked else "comb"
+            for name in written:
+                if self.kinds.get(name) == "integer":
+                    continue  # loop variables live only inside the block
+                if name in self.drivers:
+                    raise SynthesisError(f"multiple drivers for '{name}'")
+                self.drivers[name] = (tag, alw)
+
+    # -- public ---------------------------------------------------------------------
+
+    def synthesize(self) -> SynthesizedModule:
+        port_widths = {}
+        for port in self.module.ports:
+            port_widths[port.name] = self.widths[port.name]
+        # Resolve every output port.
+        for port in self.module.ports:
+            if port.direction != "output":
+                continue
+            vec = self.bits(port.name)
+            for i, literal in enumerate(vec):
+                self.aig.add_output(f"{port.name}[{i}]", literal)
+        result = SynthesizedModule(self.module.name, self.aig.cleanup(),
+                                   self.flops, port_widths)
+        return result
+
+    # -- signal resolution -------------------------------------------------------------
+
+    def bits(self, name: str) -> BitVec:
+        if name in self.cache:
+            return self.cache[name]
+        if name in self._resolving:
+            raise SynthesisError(f"combinational loop through '{name}'")
+        if name in self.params:
+            vec = _const_vec(self.params[name], 32)
+            self.cache[name] = vec
+            return vec
+        if name not in self.widths:
+            raise SynthesisError(f"undeclared signal '{name}'")
+        width = self.widths[name]
+        kind = self.kinds.get(name)
+        if kind == "input":
+            vec = [self.aig.add_input(f"{name}[{i}]") for i in range(width)]
+            self.cache[name] = vec
+            return vec
+
+        driver = self.drivers.get(name)
+        if driver is None:
+            raise SynthesisError(f"signal '{name}' has no driver")
+        self._resolving.add(name)
+        try:
+            if driver[0] == "assign":
+                vec = self.lower_expr(driver[1], width)
+                vec = self._fit(vec, width)
+                self.cache[name] = vec
+                return vec
+            if driver[0] == "partial":
+                vec: BitVec = [None] * width  # type: ignore[list-item]
+                for ca in driver[1]:
+                    value = self.lower_expr(ca.expr, None)
+                    if ca.target.index is not None:
+                        pos = self._require_const(ca.target.index, {})
+                        if 0 <= pos < width:
+                            vec[pos] = value[0]
+                        continue
+                    msb = self._require_const(ca.target.msb, {})
+                    lsb = self._require_const(ca.target.lsb, {})
+                    if msb < lsb:
+                        msb, lsb = lsb, msb
+                    part = self._fit(value, msb - lsb + 1)
+                    for i in range(lsb, min(msb + 1, width)):
+                        vec[i] = part[i - lsb]
+                missing = [i for i, b in enumerate(vec) if b is None]
+                if missing:
+                    raise SynthesisError(
+                        f"bits {missing} of '{name}' have no driver")
+                self.cache[name] = vec
+                return vec
+            if driver[0] == "comb":
+                self._lower_comb_block(driver[1])
+                if name not in self.cache:
+                    raise SynthesisError(
+                        f"'{name}' not assigned by its combinational block")
+                return self.cache[name]
+            # Flop: Q bits become AIG inputs; D computed lazily afterwards.
+            vec = [self.aig.add_input(f"{name}[{i}]") for i in range(width)]
+            self.cache[name] = vec
+            self._lower_ff_block(driver[1])
+            return vec
+        finally:
+            self._resolving.discard(name)
+
+    def _fit(self, vec: BitVec, width: int) -> BitVec:
+        if len(vec) >= width:
+            return vec[:width]
+        return vec + [FALSE] * (width - len(vec))
+
+    # -- always blocks ---------------------------------------------------------------------
+
+    def _lower_comb_block(self, alw: A.Always) -> None:
+        env: dict[str, BitVec] = {}
+        from ..hdl.elaborate import stmt_writes
+        written: set[str] = set()
+        stmt_writes(alw.body, written)
+        int_env: dict[str, int] = {}
+        self._exec_stmt(alw.body, env, int_env, in_ff=False)
+        for name in written:
+            if self.kinds.get(name) == "integer":
+                continue
+            if name not in env:
+                raise SynthesisError(
+                    f"latch inferred: '{name}' not assigned on all paths")
+            self.cache[name] = self._fit(env[name], self.widths[name])
+
+    def _lower_ff_block(self, alw: A.Always) -> None:
+        # Async reset pattern: if (rst) q <= CONST; else ...
+        reset_sig: str | None = None
+        for kind, sig in alw.edges:
+            if kind in ("posedge", "negedge") and sig.lower() in (
+                    "rst", "reset", "rst_n", "resetn", "arst", "rstn"):
+                reset_sig = sig
+        env: dict[str, BitVec] = {}
+        int_env: dict[str, int] = {}
+        from ..hdl.elaborate import stmt_writes
+        written: set[str] = set()
+        stmt_writes(alw.body, written)
+        # Seed env with current Q values so partial updates hold state.
+        for name in written:
+            if self.kinds.get(name) == "integer":
+                continue
+            env[name] = list(self.cache.get(name) or self.bits(name))
+        self._exec_stmt(alw.body, env, int_env, in_ff=True)
+        for name in written:
+            if self.kinds.get(name) == "integer":
+                continue
+            width = self.widths[name]
+            vec = self._fit(env[name], width)
+            for i, literal in enumerate(vec):
+                self.aig.add_output(f"{name}$next[{i}]", literal)
+            self.flops.append(FlopSpec(name, width,
+                                       has_async_reset=reset_sig is not None))
+
+    # -- statement lowering (symbolic execution) ----------------------------------------------
+
+    def _exec_stmt(self, stmt: A.Stmt, env: dict[str, BitVec],
+                   int_env: dict[str, int], in_ff: bool) -> None:
+        if isinstance(stmt, A.Block):
+            for s in stmt.stmts:
+                self._exec_stmt(s, env, int_env, in_ff)
+        elif isinstance(stmt, A.Assign):
+            self._exec_assign(stmt, env, int_env)
+        elif isinstance(stmt, A.If):
+            self._exec_if(stmt, env, int_env, in_ff)
+        elif isinstance(stmt, A.Case):
+            self._exec_case(stmt, env, int_env, in_ff)
+        elif isinstance(stmt, A.For):
+            self._exec_for(stmt, env, int_env, in_ff)
+        elif isinstance(stmt, A.SysTask):
+            pass  # $display etc. have no hardware meaning
+        elif isinstance(stmt, (A.Delay, A.EventWait, A.While, A.Repeat)):
+            raise SynthesisError(
+                f"{type(stmt).__name__} is not synthesizable")
+        else:
+            raise SynthesisError(f"cannot synthesize {type(stmt).__name__}")
+
+    def _exec_assign(self, stmt: A.Assign, env: dict[str, BitVec],
+                     int_env: dict[str, int]) -> None:
+        name = stmt.target.name
+        if self.kinds.get(name) == "integer":
+            int_env[name] = self._eval_int(stmt.expr, env, int_env)
+            return
+        width = self.widths.get(name)
+        if width is None:
+            raise SynthesisError(f"assignment to undeclared '{name}'")
+        value = self.lower_expr(stmt.expr, width, env, int_env)
+        old = env.get(name)
+        if stmt.target.index is None and stmt.target.msb is None:
+            env[name] = self._fit(value, width)
+            return
+        if old is None:
+            old = list(self.cache.get(name) or [FALSE] * width)
+            old = self._fit(old, width)
+        if stmt.target.index is not None:
+            idx = self._try_const(stmt.target.index, int_env)
+            new = list(old)
+            if idx is not None:
+                if 0 <= idx < width:
+                    new[idx] = value[0]
+            else:
+                sel_vec = self.lower_expr(stmt.target.index, max(1, width.bit_length()),
+                                          env, int_env)
+                for i in range(width):
+                    is_i = self._equals_const(sel_vec, i)
+                    new[i] = self.aig.mux(is_i, value[0], old[i])
+            env[name] = new
+            return
+        msb = self._require_const(stmt.target.msb, int_env)
+        lsb = self._require_const(stmt.target.lsb, int_env)
+        if msb < lsb:
+            msb, lsb = lsb, msb
+        new = list(old)
+        part = self._fit(value, msb - lsb + 1)
+        for i in range(lsb, min(msb + 1, width)):
+            new[i] = part[i - lsb]
+        env[name] = new
+
+    def _exec_if(self, stmt: A.If, env: dict[str, BitVec],
+                 int_env: dict[str, int], in_ff: bool) -> None:
+        const_cond = self._try_const(stmt.cond, int_env)
+        if const_cond is not None:
+            branch = stmt.then if const_cond else stmt.other
+            if branch is not None:
+                self._exec_stmt(branch, env, int_env, in_ff)
+            return
+        cond = self._reduce_or_vec(self.lower_expr(stmt.cond, None, env, int_env))
+        then_env = {k: list(v) for k, v in env.items()}
+        else_env = {k: list(v) for k, v in env.items()}
+        then_ints = dict(int_env)
+        else_ints = dict(int_env)
+        self._exec_stmt(stmt.then, then_env, then_ints, in_ff)
+        if stmt.other is not None:
+            self._exec_stmt(stmt.other, else_env, else_ints, in_ff)
+        self._merge_env(cond, then_env, else_env, env, in_ff)
+        int_env.update({k: v for k, v in then_ints.items() if else_ints.get(k) == v})
+
+    def _exec_case(self, stmt: A.Case, env: dict[str, BitVec],
+                   int_env: dict[str, int], in_ff: bool) -> None:
+        subject = self.lower_expr(stmt.subject, None, env, int_env)
+        default_item: A.CaseItem | None = None
+        arms: list[tuple[int, A.CaseItem]] = []
+        for item in stmt.items:
+            if item.labels is None:
+                default_item = item
+                continue
+            conds = []
+            for label in item.labels:
+                conds.append(self._match_label(subject, label, stmt.wildcard, int_env))
+            cond = conds[0]
+            for c in conds[1:]:
+                cond = self.aig.or_(cond, c)
+            arms.append((cond, item))
+        # Build nested if-else from the bottom up.
+        base_env = {k: list(v) for k, v in env.items()}
+        if default_item is not None:
+            self._exec_stmt(default_item.body, base_env, dict(int_env), in_ff)
+        result_env = base_env
+        for cond, item in reversed(arms):
+            arm_env = {k: list(v) for k, v in env.items()}
+            self._exec_stmt(item.body, arm_env, dict(int_env), in_ff)
+            merged: dict[str, BitVec] = {}
+            self._merge_env(cond, arm_env, result_env, merged, in_ff,
+                            base=env)
+            result_env = merged
+        env.clear()
+        env.update(result_env)
+
+    def _match_label(self, subject: BitVec, label: A.Expr, wildcard: bool,
+                     int_env: dict[str, int]) -> int:
+        if wildcard and isinstance(label, A.Number) and label.xmask:
+            acc = TRUE
+            for i in range(min(len(subject), label.width)):
+                if (label.xmask >> i) & 1:
+                    continue
+                bit = subject[i] if (label.value >> i) & 1 else negate(subject[i])
+                acc = self.aig.and_(acc, bit)
+            return acc
+        value = self.lower_expr(label, len(subject), {}, int_env)
+        acc = TRUE
+        for i in range(len(subject)):
+            want = value[i] if i < len(value) else FALSE
+            acc = self.aig.and_(acc, negate(self.aig.xor_(subject[i], want)))
+        return acc
+
+    def _merge_env(self, cond: int, then_env: dict, else_env: dict,
+                   out_env: dict, in_ff: bool, base: dict | None = None) -> None:
+        base = base if base is not None else {}
+        names = set(then_env) | set(else_env)
+        for name in names:
+            width = self.widths.get(name, 32)
+            t = then_env.get(name)
+            e = else_env.get(name)
+            if t is None or e is None:
+                prev = base.get(name)
+                if prev is None:
+                    prev = self.cache.get(name)
+                if prev is None:
+                    if in_ff:
+                        prev = self.bits(name)
+                    else:
+                        raise SynthesisError(
+                            f"latch inferred: '{name}' assigned on only one branch")
+                t = t if t is not None else list(prev)
+                e = e if e is not None else list(prev)
+            t = self._fit(t, width)
+            e = self._fit(e, width)
+            out_env[name] = [self.aig.mux(cond, t[i], e[i]) for i in range(width)]
+
+    def _exec_for(self, stmt: A.For, env: dict[str, BitVec],
+                  int_env: dict[str, int], in_ff: bool) -> None:
+        self._exec_stmt(stmt.init, env, int_env, in_ff)
+        guard = 0
+        while True:
+            cond = self._try_const(stmt.cond, int_env)
+            if cond is None:
+                raise SynthesisError("for-loop bound must be a compile-time constant")
+            if not cond:
+                return
+            guard += 1
+            if guard > 4096:
+                raise SynthesisError("for-loop unrolling exceeded 4096 iterations")
+            self._exec_stmt(stmt.body, env, int_env, in_ff)
+            self._exec_stmt(stmt.step, env, int_env, in_ff)
+
+    # -- constant helpers --------------------------------------------------------------------------
+
+    def _try_const(self, expr: A.Expr, int_env: dict[str, int]) -> int | None:
+        try:
+            scope = dict(self.params)
+            scope.update(int_env)
+            return eval_const(expr, scope)
+        except Exception:
+            return None
+
+    def _require_const(self, expr: A.Expr, int_env: dict[str, int]) -> int:
+        value = self._try_const(expr, int_env)
+        if value is None:
+            raise SynthesisError("expression must be a compile-time constant")
+        return value
+
+    def _eval_int(self, expr: A.Expr, env: dict[str, BitVec],
+                  int_env: dict[str, int]) -> int:
+        value = self._try_const(expr, int_env)
+        if value is None:
+            raise SynthesisError(
+                "integer variables must hold compile-time constants in synthesis")
+        return value
+
+    def _equals_const(self, vec: BitVec, value: int) -> int:
+        acc = TRUE
+        for i, literal in enumerate(vec):
+            want_one = (value >> i) & 1
+            acc = self.aig.and_(acc, literal if want_one else negate(literal))
+        return acc
+
+    def _reduce_or_vec(self, vec: BitVec) -> int:
+        acc = FALSE
+        for literal in vec:
+            acc = self.aig.or_(acc, literal)
+        return acc
+
+    # -- expression lowering ------------------------------------------------------------------------
+
+    def lower_expr(self, expr: A.Expr, width: int | None,
+                   env: dict[str, BitVec] | None = None,
+                   int_env: dict[str, int] | None = None) -> BitVec:
+        env = env if env is not None else {}
+        int_env = int_env if int_env is not None else {}
+        vec = self._lower(expr, env, int_env)
+        if width is not None:
+            vec = self._fit(vec, width)
+        return vec
+
+    def _read(self, name: str, env: dict[str, BitVec],
+              int_env: dict[str, int]) -> BitVec:
+        if self.kinds.get(name) == "integer":
+            if name not in int_env:
+                raise SynthesisError(f"integer '{name}' read before assignment")
+            return _const_vec(int_env[name], 32)
+        if name in env:
+            return env[name]
+        if name in self.params:
+            return _const_vec(self.params[name], 32)
+        return self.bits(name)
+
+    def _lower(self, expr: A.Expr, env: dict[str, BitVec],
+               int_env: dict[str, int]) -> BitVec:
+        aig = self.aig
+        if isinstance(expr, A.Number):
+            if expr.xmask:
+                raise SynthesisError("X literals are not synthesizable")
+            width = expr.width if expr.sized else 32
+            return _const_vec(expr.value, width)
+        if isinstance(expr, A.Identifier):
+            return list(self._read(expr.name, env, int_env))
+        if isinstance(expr, A.Index):
+            base = self._read(expr.target, env, int_env)
+            idx = self._try_const(expr.index, int_env)
+            if idx is not None:
+                return [base[idx]] if 0 <= idx < len(base) else [FALSE]
+            sel = self._lower(expr.index, env, int_env)
+            out = FALSE
+            for i, bit in enumerate(base):
+                out = aig.or_(out, aig.and_(self._equals_const(sel, i), bit))
+            return [out]
+        if isinstance(expr, A.Slice):
+            base = self._read(expr.target, env, int_env)
+            msb = self._require_const(expr.msb, int_env)
+            lsb = self._require_const(expr.lsb, int_env)
+            if msb < lsb:
+                msb, lsb = lsb, msb
+            return [base[i] if i < len(base) else FALSE
+                    for i in range(lsb, msb + 1)]
+        if isinstance(expr, A.Concat):
+            out: BitVec = []
+            for part in reversed(expr.parts):  # rightmost is least significant
+                out.extend(self._lower(part, env, int_env))
+            return out
+        if isinstance(expr, A.Replicate):
+            count = self._require_const(expr.count, int_env)
+            inner = self._lower(expr.inner, env, int_env)
+            return inner * count
+        if isinstance(expr, A.Unary):
+            return self._lower_unary(expr, env, int_env)
+        if isinstance(expr, A.Binary):
+            return self._lower_binary(expr, env, int_env)
+        if isinstance(expr, A.Ternary):
+            cond = self._reduce_or_vec(self._lower(expr.cond, env, int_env))
+            t = self._lower(expr.if_true, env, int_env)
+            e = self._lower(expr.if_false, env, int_env)
+            width = max(len(t), len(e))
+            t = self._fit(t, width)
+            e = self._fit(e, width)
+            return [aig.mux(cond, t[i], e[i]) for i in range(width)]
+        if isinstance(expr, A.FunctionCall):
+            return self._lower_call(expr, env, int_env)
+        if isinstance(expr, A.SystemCall):
+            raise SynthesisError(f"system function '{expr.name}' is not synthesizable")
+        raise SynthesisError(f"cannot synthesize expression {type(expr).__name__}")
+
+    def _lower_unary(self, expr: A.Unary, env, int_env) -> BitVec:
+        aig = self.aig
+        operand = self._lower(expr.operand, env, int_env)
+        if expr.op == "~":
+            return [negate(b) for b in operand]
+        if expr.op == "!":
+            return [negate(self._reduce_or_vec(operand))]
+        if expr.op == "-":
+            inverted = [negate(b) for b in operand]
+            return self._add(inverted, _const_vec(1, len(operand)))[0]
+        if expr.op == "+":
+            return operand
+        if expr.op == "&":
+            acc = TRUE
+            for b in operand:
+                acc = aig.and_(acc, b)
+            return [acc]
+        if expr.op == "|":
+            return [self._reduce_or_vec(operand)]
+        if expr.op == "^":
+            acc = FALSE
+            for b in operand:
+                acc = aig.xor_(acc, b)
+            return [acc]
+        raise SynthesisError(f"unary '{expr.op}' is not synthesizable")
+
+    def _add(self, a: BitVec, b: BitVec, carry_in: int = FALSE) -> tuple[BitVec, int]:
+        aig = self.aig
+        width = max(len(a), len(b))
+        a = self._fit(list(a), width)
+        b = self._fit(list(b), width)
+        out: BitVec = []
+        carry = carry_in
+        for i in range(width):
+            s = aig.xor_(aig.xor_(a[i], b[i]), carry)
+            carry = aig.or_(aig.and_(a[i], b[i]),
+                            aig.and_(carry, aig.xor_(a[i], b[i])))
+            out.append(s)
+        return out, carry
+
+    def _less_than(self, a: BitVec, b: BitVec) -> int:
+        """Unsigned a < b via subtraction borrow."""
+        aig = self.aig
+        width = max(len(a), len(b))
+        a = self._fit(list(a), width)
+        b = self._fit(list(b), width)
+        not_b = [negate(x) for x in b]
+        _, carry = self._add(a, not_b, TRUE)
+        return negate(carry)  # no carry out => borrow => a < b
+
+    def _lower_binary(self, expr: A.Binary, env, int_env) -> BitVec:
+        aig = self.aig
+        op = expr.op
+        a = self._lower(expr.left, env, int_env)
+        b = self._lower(expr.right, env, int_env)
+        width = max(len(a), len(b))
+
+        if op in ("&", "|", "^"):
+            a = self._fit(a, width)
+            b = self._fit(b, width)
+            fn = {"&": aig.and_, "|": aig.or_, "^": aig.xor_}[op]
+            return [fn(a[i], b[i]) for i in range(width)]
+        if op == "+":
+            # Keep the carry (context-determined sizing; see Logic.add).
+            grown = width + 1
+            out, carry = self._add(self._fit(a, width), self._fit(b, width))
+            return out + [carry] if grown > width else out
+        if op == "-":
+            grown = width + 1
+            a9 = self._fit(a, grown)
+            not_b = [negate(x) for x in self._fit(b, grown)]
+            return self._add(a9, not_b, TRUE)[0]
+        if op == "*":
+            return self._multiply(a, b)
+        if op in ("/", "%"):
+            const_b = self._vec_const(b)
+            if const_b is not None and const_b > 0 and (const_b & (const_b - 1)) == 0:
+                shift = const_b.bit_length() - 1
+                if op == "/":
+                    return a[shift:] if shift < len(a) else [FALSE]
+                return a[:shift] if shift else [FALSE]
+            raise SynthesisError(
+                "division/modulo only synthesizable by constant powers of two")
+        if op == "<<":
+            return self._shift(a, b, left=True)
+        if op == ">>":
+            return self._shift(a, b, left=False)
+        if op == "==":
+            a = self._fit(a, width)
+            b = self._fit(b, width)
+            acc = TRUE
+            for i in range(width):
+                acc = aig.and_(acc, negate(aig.xor_(a[i], b[i])))
+            return [acc]
+        if op == "!=":
+            return [negate(self._lower_binary(
+                A.Binary("==", expr.left, expr.right), env, int_env)[0])]
+        if op == "<":
+            return [self._less_than(a, b)]
+        if op == ">":
+            return [self._less_than(b, a)]
+        if op == "<=":
+            return [negate(self._less_than(b, a))]
+        if op == ">=":
+            return [negate(self._less_than(a, b))]
+        if op == "&&":
+            return [aig.and_(self._reduce_or_vec(a), self._reduce_or_vec(b))]
+        if op == "||":
+            return [aig.or_(self._reduce_or_vec(a), self._reduce_or_vec(b))]
+        raise SynthesisError(f"binary '{op}' is not synthesizable")
+
+    def _vec_const(self, vec: BitVec) -> int | None:
+        value = 0
+        for i, literal in enumerate(vec):
+            if literal == TRUE:
+                value |= 1 << i
+            elif literal != FALSE:
+                return None
+        return value
+
+    def _multiply(self, a: BitVec, b: BitVec) -> BitVec:
+        # Full-width product (capped), matching Logic.mul's growth.
+        width = min(128, len(a) + len(b))
+        a = self._fit(list(a), width)
+        acc = _const_vec(0, width)
+        for i, bit in enumerate(b):
+            if i >= width:
+                break
+            if bit == FALSE:
+                continue
+            shifted = [FALSE] * i + a[:width - i]
+            gated = [self.aig.and_(bit, x) for x in shifted]
+            acc = self._add(acc, gated)[0]
+        return acc
+
+    def _shift(self, a: BitVec, b: BitVec, left: bool) -> BitVec:
+        const_b = self._vec_const(b)
+        width = len(a)
+        if const_b is not None:
+            n = const_b
+            if n >= width:
+                return [FALSE] * width
+            if left:
+                return [FALSE] * n + a[:width - n]
+            return a[n:] + [FALSE] * n
+        # Barrel shifter over the meaningful selector bits.
+        out = list(a)
+        max_bits = max(1, (width - 1).bit_length())
+        for stage in range(min(len(b), max_bits)):
+            amount = 1 << stage
+            if left:
+                shifted = [FALSE] * amount + out[:width - amount]
+            else:
+                shifted = out[amount:] + [FALSE] * amount
+            out = [self.aig.mux(b[stage], shifted[i], out[i]) for i in range(width)]
+        # Any higher selector bit set → result 0.
+        too_big = FALSE
+        for literal in b[max_bits:]:
+            too_big = self.aig.or_(too_big, literal)
+        if too_big != FALSE:
+            out = [self.aig.and_(negate(too_big), x) for x in out]
+        return out
+
+    def _lower_call(self, expr: A.FunctionCall, env, int_env) -> BitVec:
+        func = self.functions.get(expr.name)
+        if func is None:
+            raise SynthesisError(f"call to unknown function '{expr.name}'")
+        local_env: dict[str, BitVec] = {}
+        local_ints: dict[str, int] = {}
+        for (aname, arng), arg in zip(func.args, expr.args):
+            width = 1 if arng is None else eval_const(arng.msb, self.params) + 1
+            local_env[aname] = self.lower_expr(arg, width, env, int_env)
+        ret_width = 1 if func.rng is None else eval_const(func.rng.msb, self.params) + 1
+        saved_widths = dict(self.widths)
+        saved_kinds = dict(self.kinds)
+        try:
+            for (aname, arng) in func.args:
+                self.widths[aname] = 1 if arng is None else \
+                    eval_const(arng.msb, self.params) + 1
+                self.kinds[aname] = "wire"
+            for net in func.locals:
+                self.widths[net.name] = 32 if net.kind == "integer" else (
+                    1 if net.rng is None else eval_const(net.rng.msb, self.params) + 1)
+                self.kinds[net.name] = net.kind
+            self.widths[func.name] = ret_width
+            self.kinds[func.name] = "wire"
+            self._exec_stmt(func.body, local_env, local_ints, in_ff=False)
+        finally:
+            self.widths = saved_widths
+            self.kinds = saved_kinds
+        if func.name not in local_env:
+            raise SynthesisError(f"function '{func.name}' never assigns its result")
+        return self._fit(local_env[func.name], ret_width)
+
+
+def synthesize_module(module: A.Module) -> SynthesizedModule:
+    """Bit-blast one mini-Verilog module into an optimizable AIG."""
+    return ModuleSynthesizer(module).synthesize()

@@ -1,0 +1,108 @@
+"""Tests for the benchmark suite, pass@k harness, and the unified agent."""
+
+import pytest
+
+from repro.bench import (all_problems, evaluate_candidate, evaluate_model,
+                         get_problem, make_task, problems_by)
+from repro.core import (AgentConfig, EdaAgent, agent_report_text,
+                        format_table, run_agent_sweep, sweep_report_text)
+from repro.hdl import run_testbench
+from repro.llm import PromptStrategy
+
+
+class TestProblemSuite:
+    @pytest.mark.parametrize("problem", all_problems(),
+                             ids=lambda p: p.problem_id)
+    def test_reference_passes_its_testbench(self, problem):
+        result = run_testbench(problem.reference + "\n" + problem.testbench,
+                               problem.tb_name)
+        assert result.passed, result.feedback()
+
+    def test_suite_spans_complexities(self):
+        levels = {p.complexity for p in all_problems()}
+        assert levels == {1, 2, 3, 4, 5}
+
+    def test_filters(self):
+        seq = problems_by(sequential=True)
+        assert seq and all(p.sequential for p in seq)
+        c1 = problems_by(complexity=1)
+        assert all(p.complexity == 1 for p in c1)
+
+    def test_get_problem_unknown(self):
+        with pytest.raises(KeyError):
+            get_problem("nope")
+
+    def test_make_task_carries_metadata(self):
+        p = get_problem("c5_accumulator_cpu")
+        task = make_task(p)
+        assert task.open_ended and task.complexity == 5
+
+    def test_broken_candidate_scores_below_one(self):
+        p = get_problem("c2_gray")
+        broken = p.reference.replace("b ^ (b >> 1)", "b | (b >> 1)")
+        result = evaluate_candidate(p, broken)
+        assert result.compiled and not result.passed
+
+
+class TestHarness:
+    def test_pass_at_k_monotone_in_k(self):
+        probs = problems_by(complexity=2)[:3]
+        suite = evaluate_model("chatgpt-3.5", probs, k=4, seed=3)
+        assert suite.pass_at_k(1) <= suite.pass_at_k(2) <= suite.pass_at_k(4)
+
+    def test_by_complexity_buckets(self):
+        probs = [get_problem("c1_mux2"), get_problem("c3_alu")]
+        suite = evaluate_model("gpt-4", probs, k=1, seed=0)
+        buckets = suite.by_complexity()
+        assert set(buckets) == {1, 3}
+
+    def test_strategy_recorded(self):
+        suite = evaluate_model("gpt-4", [get_problem("c1_mux2")], k=1,
+                               strategy=PromptStrategy.COT, seed=0)
+        assert suite.strategy is PromptStrategy.COT
+
+    def test_mean_best_score_range(self):
+        suite = evaluate_model("dave-gpt2", [get_problem("c1_and4")], k=2,
+                               seed=1)
+        assert 0.0 <= suite.mean_best_score <= 1.0
+
+
+class TestAgent:
+    def test_agent_full_pipeline(self):
+        agent = EdaAgent(AgentConfig(model="gpt-4o"), seed=1)
+        report = agent.run(get_problem("c2_gray"))
+        stages = [s for s, _, _ in report.stage_table()]
+        assert "specification" in stages and "qor" in stages
+        if report.success:
+            assert report.state.verified
+            assert report.state.ppa is not None
+            assert "netlist" in report.state.modalities_present()
+
+    def test_agent_report_text_renders(self):
+        agent = EdaAgent(AgentConfig(model="gpt-4o"), seed=1)
+        report = agent.run(get_problem("c1_mux2"))
+        text = agent_report_text(report)
+        assert "stage" in text and "specification" in text
+
+    def test_feedback_reopens_rtl_stage(self):
+        # A weak model on a hard problem should need reopens (or fail).
+        agent = EdaAgent(AgentConfig(model="chatgpt-3.5", autochip_k=1,
+                                     autochip_depth=1), seed=3)
+        report = agent.run(get_problem("c4_seqdet"))
+        assert report.reopens >= 0  # bounded
+        assert report.reopens <= agent.config.max_reopens
+
+    def test_sweep_statistics(self):
+        sweep = run_agent_sweep([get_problem("c1_mux2"),
+                                 get_problem("c2_gray")],
+                                model="gpt-4o", seeds=(0,))
+        assert 0.0 <= sweep.end_to_end_rate <= 1.0
+        rates = sweep.stage_success_rates()
+        assert "rtl_generation" in rates
+        assert sweep_report_text(sweep)
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) <= 2

@@ -1,0 +1,250 @@
+"""Tests for the mini-Verilog parser."""
+
+import pytest
+
+from repro.hdl import ast as A
+from repro.hdl.errors import ParseError
+from repro.hdl.parser import parse, parse_module
+
+
+class TestModuleHeaders:
+    def test_ansi_ports(self):
+        m = parse_module("module m(input a, output reg [3:0] q); endmodule")
+        assert m.ports[0].direction == "input"
+        assert m.ports[1].is_reg and m.ports[1].rng is not None
+
+    def test_ansi_port_group_continuation(self):
+        m = parse_module("module m(input [7:0] a, b, output y); endmodule")
+        assert m.ports[0].rng is not None
+        assert m.ports[1].direction == "input"
+        assert m.ports[1].rng is not None
+        assert m.ports[2].direction == "output"
+
+    def test_non_ansi_ports(self):
+        m = parse_module("""
+module m(a, q);
+  input a;
+  output [3:0] q;
+endmodule""")
+        assert m.ports[0].direction == "input"
+        assert m.ports[1].direction == "output"
+
+    def test_parameters_in_header(self):
+        m = parse_module("module m #(parameter W = 8, D = 2)(input a); endmodule")
+        assert [p.name for p in m.parameters] == ["W", "D"]
+
+    def test_parameters_in_body(self):
+        m = parse_module("module m(input a); parameter W = 4; localparam L = W*2; endmodule")
+        assert m.parameters[1].local
+
+    def test_portless_module(self):
+        m = parse_module("module tb; endmodule")
+        assert m.ports == ()
+
+    def test_multiple_modules(self):
+        sf = parse("module a; endmodule module b; endmodule")
+        assert set(sf.modules) == {"a", "b"}
+
+    def test_parse_module_requires_unique(self):
+        with pytest.raises(ParseError):
+            parse_module("module a; endmodule module b; endmodule")
+
+    def test_parse_module_by_name(self):
+        m = parse_module("module a; endmodule module b; endmodule", "b")
+        assert m.name == "b"
+
+    def test_missing_endmodule(self):
+        with pytest.raises(ParseError):
+            parse("module m(input a);")
+
+
+class TestDeclarationsAndAssigns:
+    def test_wire_with_range_list(self):
+        m = parse_module("module m; wire [7:0] a, b; endmodule")
+        assert len(m.nets) == 2 and m.nets[1].rng is not None
+
+    def test_reg_with_initializer(self):
+        m = parse_module("module m; reg [3:0] q = 5; endmodule")
+        assert isinstance(m.nets[0].init, A.Number)
+
+    def test_integer_declaration(self):
+        m = parse_module("module m; integer i; endmodule")
+        assert m.nets[0].kind == "integer"
+
+    def test_memory_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module m; reg [7:0] mem [0:3]; endmodule")
+
+    def test_continuous_assign(self):
+        m = parse_module("module m(input a, output y); assign y = ~a; endmodule")
+        assert isinstance(m.assigns[0].expr, A.Unary)
+
+    def test_assign_to_part_select(self):
+        m = parse_module("module m(output [7:0] y); wire [3:0] a; "
+                         "assign y[7:4] = a; endmodule")
+        assert m.assigns[0].target.msb is not None
+
+    def test_generate_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module m; generate endgenerate endmodule")
+
+
+class TestAlwaysAndStatements:
+    def test_always_star(self):
+        m = parse_module("module m(input a, output reg y); "
+                         "always @(*) y = a; endmodule")
+        assert m.always_blocks[0].is_star
+
+    def test_always_at_star_nospace(self):
+        m = parse_module("module m(input a, output reg y); "
+                         "always @* y = a; endmodule")
+        assert m.always_blocks[0].is_star
+
+    def test_always_posedge_with_or(self):
+        m = parse_module("module m(input clk, input rst, output reg q); "
+                         "always @(posedge clk or posedge rst) q <= rst; endmodule")
+        assert m.always_blocks[0].edges == (("posedge", "clk"),
+                                            ("posedge", "rst"))
+
+    def test_case_with_default(self):
+        m = parse_module("""
+module m(input [1:0] s, output reg y);
+  always @(*) begin
+    case (s)
+      2'd0, 2'd1: y = 0;
+      default: y = 1;
+    endcase
+  end
+endmodule""")
+        case = m.always_blocks[0].body.stmts[0]
+        assert isinstance(case, A.Case)
+        assert case.items[0].labels is not None
+        assert len(case.items[0].labels) == 2
+        assert case.items[1].labels is None
+
+    def test_for_loop(self):
+        m = parse_module("""
+module tb;
+  integer i; reg [7:0] a;
+  initial begin
+    for (i = 0; i < 4; i = i + 1) a = a + 1;
+  end
+endmodule""")
+        body = m.initial_blocks[0].body.stmts[0]
+        assert isinstance(body, A.For)
+
+    def test_delay_statement(self):
+        m = parse_module("module tb; reg a; initial begin #10 a = 1; end endmodule")
+        stmt = m.initial_blocks[0].body.stmts[0]
+        assert isinstance(stmt, A.Delay) and stmt.then is not None
+
+    def test_event_wait(self):
+        m = parse_module("module tb; reg clk; initial @(posedge clk); endmodule")
+        assert isinstance(m.initial_blocks[0].body, A.EventWait)
+
+    def test_systask_with_args(self):
+        m = parse_module('module tb; initial $display("x=%d", 3); endmodule')
+        stmt = m.initial_blocks[0].body
+        assert isinstance(stmt, A.SysTask) and len(stmt.args) == 2
+
+    def test_nonblocking_vs_blocking(self):
+        m = parse_module("""
+module m(input clk, output reg a, output reg b);
+  always @(posedge clk) begin
+    a <= 1;
+    b = 0;
+  end
+endmodule""")
+        stmts = m.always_blocks[0].body.stmts
+        assert not stmts[0].blocking and stmts[1].blocking
+
+    def test_declaration_inside_block_rejected(self):
+        with pytest.raises(ParseError):
+            parse("module tb; initial begin integer i; end endmodule")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        m = parse_module(f"module m(output [31:0] y); assign y = {text}; endmodule")
+        return m.assigns[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, A.Binary) and e.op == "+"
+        assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+    def test_precedence_compare_over_logical(self):
+        e = self._expr("a < b && c")
+        assert e.op == "&&"
+
+    def test_ternary_nesting(self):
+        e = self._expr("a ? b : c ? d : e")
+        assert isinstance(e, A.Ternary)
+        assert isinstance(e.if_false, A.Ternary)
+
+    def test_concat(self):
+        e = self._expr("{a, b, 2'b01}")
+        assert isinstance(e, A.Concat) and len(e.parts) == 3
+
+    def test_replication(self):
+        e = self._expr("{4{a}}")
+        assert isinstance(e, A.Replicate)
+
+    def test_bit_select_and_slice(self):
+        assert isinstance(self._expr("a[3]"), A.Index)
+        assert isinstance(self._expr("a[7:4]"), A.Slice)
+
+    def test_unary_reduction(self):
+        e = self._expr("&a")
+        assert isinstance(e, A.Unary) and e.op == "&"
+
+    def test_arithmetic_shift_normalized(self):
+        e = self._expr("a >>> 2")
+        assert e.op == ">>"
+
+    def test_case_equality_normalized(self):
+        e = self._expr("a === b")
+        assert e.op == "=="
+
+    def test_function_call_expr(self):
+        e = self._expr("f(a, b)")
+        assert isinstance(e, A.FunctionCall) and len(e.args) == 2
+
+
+class TestInstances:
+    def test_named_connections(self):
+        m = parse_module("""
+module top(input a, output y);
+  sub u0(.x(a), .y(y));
+endmodule""")
+        inst = m.instances[0]
+        assert inst.module == "sub"
+        assert inst.connections[0][0] == "x"
+
+    def test_positional_connections(self):
+        m = parse_module("module top(input a, output y); sub u0(a, y); endmodule")
+        assert m.instances[0].connections[0][0] is None
+
+    def test_parameter_overrides(self):
+        m = parse_module("module top; sub #(.W(16)) u0(); endmodule")
+        assert m.instances[0].param_overrides == (("W", A.Number(32, 16)),)
+
+    def test_unconnected_port(self):
+        m = parse_module("module top(input a); sub u0(.x(a), .y()); endmodule")
+        assert m.instances[0].connections[1][1] is None
+
+
+class TestFunctions:
+    def test_function_with_body_args(self):
+        m = parse_module("""
+module m(input [3:0] a, output [3:0] y);
+  function [3:0] double;
+    input [3:0] v;
+    begin
+      double = v + v;
+    end
+  endfunction
+  assign y = double(a);
+endmodule""")
+        assert m.functions[0].name == "double"
+        assert len(m.functions[0].args) == 1

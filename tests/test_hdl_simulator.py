@@ -1,0 +1,392 @@
+"""Behavioural tests for the event-driven simulator."""
+
+import pytest
+
+from repro.hdl import (SimulationError, Simulator, elaborate, parse,
+                       run_testbench)
+
+
+def simulate(src, top="tb", max_time=100_000):
+    design = elaborate(parse(src), top)
+    sim = Simulator(design)
+    sim.run(max_time=max_time)
+    return sim
+
+
+class TestCombinational:
+    def test_continuous_assign_chain(self):
+        sim = simulate("""
+module tb;
+  reg [3:0] a;
+  wire [3:0] b, c;
+  assign b = a + 1;
+  assign c = b * 2;
+  initial begin
+    a = 3;
+    #1 $display("c=%0d", c);
+    $finish;
+  end
+endmodule""")
+        assert "c=8" in sim.output[0]
+
+    def test_always_star_recomputes(self):
+        sim = simulate("""
+module tb;
+  reg [3:0] a; reg [3:0] y;
+  always @(*) y = a ^ 4'hF;
+  initial begin
+    a = 4'h3; #1 $display("%h", y);
+    a = 4'hA; #1 $display("%h", y);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["c", "5"]
+
+    def test_wire_initializer_is_continuous(self):
+        sim = simulate("""
+module tb;
+  reg [7:0] a;
+  wire [7:0] doubled = a + a;
+  initial begin
+    a = 21; #1 $display("%0d", doubled);
+    a = 3;  #1 $display("%0d", doubled);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["42", "6"]
+
+    def test_case_statement(self):
+        sim = simulate("""
+module tb;
+  reg [1:0] s; reg [3:0] y;
+  always @(*) begin
+    case (s)
+      2'd0: y = 1;
+      2'd1: y = 2;
+      default: y = 15;
+    endcase
+  end
+  initial begin
+    s = 0; #1 $display("%0d", y);
+    s = 1; #1 $display("%0d", y);
+    s = 3; #1 $display("%0d", y);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["1", "2", "15"]
+
+    def test_casez_wildcard(self):
+        sim = simulate("""
+module tb;
+  reg [3:0] r; reg [1:0] g;
+  always @(*) begin
+    casez (r)
+      4'b1zzz: g = 3;
+      4'b01zz: g = 2;
+      default: g = 0;
+    endcase
+  end
+  initial begin
+    r = 4'b1010; #1 $display("%0d", g);
+    r = 4'b0110; #1 $display("%0d", g);
+    r = 4'b0010; #1 $display("%0d", g);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["3", "2", "0"]
+
+    def test_dynamic_bit_select(self):
+        sim = simulate("""
+module tb;
+  reg [7:0] v; reg [2:0] i; wire b;
+  assign b = v[i];
+  initial begin
+    v = 8'b10010110;
+    i = 1; #1 $display("%b", b);
+    i = 3; #1 $display("%b", b);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["1", "0"]
+
+
+class TestSequential:
+    def test_nonblocking_swap(self):
+        sim = simulate("""
+module tb;
+  reg clk; reg [3:0] a, b;
+  always @(posedge clk) begin
+    a <= b;
+    b <= a;
+  end
+  initial begin
+    clk = 0; a = 1; b = 2;
+    #1 clk = 1;
+    #1 $display("%0d %0d", a, b);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["2 1"]
+
+    def test_blocking_in_sequence(self):
+        sim = simulate("""
+module tb;
+  reg clk; reg [3:0] a, b;
+  always @(posedge clk) begin
+    a = 4'd7;
+    b = a;
+  end
+  initial begin
+    clk = 0; a = 0; b = 0;
+    #1 clk = 1;
+    #1 $display("%0d", b);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["7"]
+
+    def test_async_reset(self):
+        sim = simulate("""
+module tb;
+  reg clk, rst; reg [3:0] q;
+  always @(posedge clk or posedge rst) begin
+    if (rst) q <= 0;
+    else q <= q + 1;
+  end
+  initial clk = 0;
+  always #5 clk = ~clk;
+  initial begin
+    rst = 0;
+    #12 rst = 1;
+    #1 $display("q=%0d", q);
+    $finish;
+  end
+endmodule""")
+        assert "q=0" in sim.output[-1]
+
+    def test_clock_generator_and_counts(self):
+        sim = simulate("""
+module tb;
+  reg clk; reg [7:0] n;
+  initial begin clk = 0; n = 0; end
+  always #5 clk = ~clk;
+  always @(posedge clk) n <= n + 1;
+  initial begin
+    #52 $display("n=%0d", n);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["n=5"]
+
+    def test_negedge_trigger(self):
+        # Note: clk starts at X, and X->1 is not a negedge; 1->0 is.
+        sim = simulate("""
+module tb;
+  reg clk; reg seen;
+  always @(negedge clk) seen <= 1;
+  initial begin
+    seen = 0; clk = 1;
+    #1 $display("%b", seen);
+    #1 clk = 0;
+    #1 $display("%b", seen);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["0", "1"]
+
+
+class TestTimingAndTasks:
+    def test_time_function(self):
+        sim = simulate("""
+module tb;
+  initial begin
+    #25 $display("t=%0d", $time);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["t=25"]
+
+    def test_finish_stops_other_processes(self):
+        sim = simulate("""
+module tb;
+  reg clk;
+  initial clk = 0;
+  always #5 clk = ~clk;
+  initial #20 $finish;
+endmodule""")
+        assert sim.finished and sim.time == 20
+
+    def test_error_task_counts(self):
+        sim = simulate("""
+module tb;
+  initial begin
+    $error("boom");
+    $finish;
+  end
+endmodule""")
+        assert sim.error_count == 1
+        assert sim.output[0].startswith("ERROR:")
+
+    def test_repeat_statement(self):
+        sim = simulate("""
+module tb;
+  reg [3:0] n;
+  initial begin
+    n = 0;
+    repeat (5) n = n + 1;
+    $display("%0d", n);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["5"]
+
+    def test_while_statement(self):
+        sim = simulate("""
+module tb;
+  integer i;
+  initial begin
+    i = 0;
+    while (i < 3) i = i + 1;
+    $display("%0d", i);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["3"]
+
+    def test_random_is_deterministic_per_seed(self):
+        src = """
+module tb;
+  initial begin
+    $display("%0d", $random);
+    $finish;
+  end
+endmodule"""
+        a = simulate(src).output
+        design = elaborate(parse(src), "tb")
+        sim2 = Simulator(design, seed=1)
+        sim2.run()
+        assert a == sim2.output
+
+    def test_runaway_zero_delay_loop_detected(self):
+        with pytest.raises(SimulationError):
+            simulate("""
+module tb;
+  reg a;
+  initial begin
+    a = 0;
+    while (1) a = ~a;
+  end
+endmodule""")
+
+    def test_combinational_loop_detected(self):
+        with pytest.raises(SimulationError):
+            simulate("""
+module tb;
+  wire a, b;
+  assign a = ~b;
+  assign b = a;
+  initial #1 $finish;
+endmodule""")
+
+
+class TestHierarchy:
+    def test_parameterized_instance(self):
+        sim = simulate("""
+module add #(parameter W = 4)(input [W-1:0] a, output [W-1:0] y);
+  assign y = a + 1;
+endmodule
+module tb;
+  reg [7:0] a; wire [7:0] y;
+  add #(.W(8)) u(.a(a), .y(y));
+  initial begin
+    a = 8'hFE; #1 $display("%h", y);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["ff"]
+
+    def test_two_level_hierarchy(self):
+        sim = simulate("""
+module inv(input a, output y);
+  assign y = ~a;
+endmodule
+module buf2(input a, output y);
+  wire m;
+  inv i0(.a(a), .y(m));
+  inv i1(.a(m), .y(y));
+endmodule
+module tb;
+  reg a; wire y;
+  buf2 u(.a(a), .y(y));
+  initial begin
+    a = 1; #1 $display("%b", y);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["1"]
+
+    def test_output_to_slice_connection(self):
+        sim = simulate("""
+module pass(input [3:0] a, output [3:0] y);
+  assign y = a;
+endmodule
+module tb;
+  reg [3:0] a; wire [7:0] y;
+  pass u0(.a(a), .y(y[3:0]));
+  pass u1(.a(a), .y(y[7:4]));
+  initial begin
+    a = 4'h9; #1 $display("%h", y);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["99"]
+
+    def test_function_call_in_sim(self):
+        sim = simulate("""
+module tb;
+  reg [3:0] a; wire [3:0] y;
+  function [3:0] inc;
+    input [3:0] v;
+    begin
+      inc = v + 1;
+    end
+  endfunction
+  assign y = inc(a);
+  initial begin
+    a = 6; #1 $display("%0d", y);
+    $finish;
+  end
+endmodule""")
+        assert sim.output == ["7"]
+
+    def test_recursive_instantiation_rejected(self):
+        from repro.hdl import ElaborationError
+        with pytest.raises(ElaborationError):
+            elaborate(parse("""
+module a; a u(); endmodule"""), "a")
+
+
+class TestTestbenchHarness:
+    def test_score_counts_pass_fail(self):
+        result = run_testbench("""
+module tb;
+  initial begin
+    $display("PASS: one");
+    $display("FAIL: two");
+    $display("PASS: three");
+    $finish;
+  end
+endmodule""", "tb")
+        assert result.pass_count == 2 and result.fail_count == 1
+        assert abs(result.score - 2 / 3) < 1e-9
+        assert not result.passed
+
+    def test_compile_error_reported(self):
+        result = run_testbench("module tb; garbage", "tb")
+        assert not result.compiled
+        assert "COMPILE ERROR" in result.feedback()
+
+    def test_no_checks_means_zero_score(self):
+        result = run_testbench(
+            "module tb; initial $finish; endmodule", "tb")
+        assert result.score == 0.0 and not result.passed

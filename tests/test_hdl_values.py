@@ -1,0 +1,231 @@
+"""Unit and property tests for repro.hdl.values.Logic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hdl.values import Logic, concat_all
+
+
+def bits(width=8):
+    return st.integers(min_value=0, max_value=(1 << width) - 1)
+
+
+class TestConstruction:
+    def test_from_int_masks_to_width(self):
+        assert Logic.from_int(0x1FF, 8).to_int() == 0xFF
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Logic(0, 0, 0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            Logic(-3, 0, 0)
+
+    def test_unknown_is_all_x(self):
+        x = Logic.unknown(4)
+        assert x.has_x and x.xmask == 0xF
+
+    def test_x_bits_normalized_to_zero_value(self):
+        v = Logic(4, 0b1111, 0b0101)
+        assert v.value == 0b1010
+
+    def test_equality_is_structural(self):
+        assert Logic(4, 3, 0) == Logic(4, 3, 0)
+        assert Logic(4, 3, 0) != Logic(4, 3, 1)
+
+
+class TestArithmetic:
+    def test_add_keeps_carry_truncates_on_resize(self):
+        # Context-determined sizing: the raw sum keeps its carry bit, and
+        # assignment (resize) truncates to the target width.
+        a = Logic.from_int(0xFF, 8)
+        b = Logic.from_int(1, 8)
+        total = a.add(b)
+        assert total.width == 9 and total.to_int() == 0x100
+        assert total.resize(8).to_int() == 0
+
+    def test_sub_wraps_at_grown_width(self):
+        diff = Logic.from_int(0, 8).sub(Logic.from_int(1, 8))
+        assert diff.width == 9
+        assert diff.resize(8).to_int() == 0xFF
+
+    def test_mul_full_product(self):
+        product = Logic.from_int(7, 8).mul(Logic.from_int(6, 8))
+        assert product.to_int() == 42
+        assert product.width == 16
+
+    def test_div_by_zero_is_x(self):
+        assert Logic.from_int(5, 8).div(Logic.from_int(0, 8)).has_x
+
+    def test_mod(self):
+        assert Logic.from_int(17, 8).mod(Logic.from_int(5, 8)).to_int() == 2
+
+    def test_x_poisons_arithmetic(self):
+        assert Logic.from_int(5, 8).add(Logic.unknown(8)).has_x
+
+    def test_neg(self):
+        assert Logic.from_int(1, 8).neg().to_int() == 0xFF
+
+    def test_to_signed(self):
+        assert Logic.from_int(0xFF, 8).to_signed() == -1
+        assert Logic.from_int(0x7F, 8).to_signed() == 127
+
+    @given(bits(), bits())
+    def test_add_matches_python(self, a, b):
+        out = Logic.from_int(a, 8).add(Logic.from_int(b, 8))
+        assert out.to_int() == a + b
+        assert out.resize(8).to_int() == (a + b) & 0xFF
+
+    @given(bits(), bits())
+    def test_mul_matches_python(self, a, b):
+        out = Logic.from_int(a, 8).mul(Logic.from_int(b, 8))
+        assert out.to_int() == a * b
+
+
+class TestBitwise:
+    @given(bits(), bits())
+    def test_and_or_xor_match_python(self, a, b):
+        la, lb = Logic.from_int(a, 8), Logic.from_int(b, 8)
+        assert la.and_(lb).to_int() == (a & b)
+        assert la.or_(lb).to_int() == (a | b)
+        assert la.xor(lb).to_int() == (a ^ b)
+
+    def test_zero_and_x_is_zero(self):
+        # Known-0 AND anything is 0 even when the other bit is X.
+        out = Logic(1, 0, 0).and_(Logic.unknown(1))
+        assert out.is_false()
+
+    def test_one_or_x_is_one(self):
+        out = Logic(1, 1, 0).or_(Logic.unknown(1))
+        assert out.is_true() and not out.has_x
+
+    def test_x_and_one_is_x(self):
+        assert Logic.unknown(1).and_(Logic(1, 1, 0)).has_x
+
+    def test_not_flips_known_keeps_x(self):
+        v = Logic(4, 0b0010, 0b1000)
+        out = v.not_()
+        assert out.xmask == 0b1000
+        assert out.value == 0b0101
+
+    @given(bits())
+    def test_double_not_is_identity(self, a):
+        v = Logic.from_int(a, 8)
+        assert v.not_().not_() == v
+
+
+class TestShifts:
+    @given(bits(), st.integers(min_value=0, max_value=10))
+    def test_shl_matches_python(self, a, n):
+        out = Logic.from_int(a, 8).shl(Logic.from_int(n, 4))
+        assert out.to_int() == (a << n) & 0xFF
+
+    @given(bits(), st.integers(min_value=0, max_value=10))
+    def test_shr_matches_python(self, a, n):
+        out = Logic.from_int(a, 8).shr(Logic.from_int(n, 4))
+        assert out.to_int() == a >> n
+
+    def test_shift_by_x_is_x(self):
+        assert Logic.from_int(3, 8).shl(Logic.unknown(3)).has_x
+
+
+class TestComparison:
+    @given(bits(), bits())
+    def test_comparisons_match_python(self, a, b):
+        la, lb = Logic.from_int(a, 8), Logic.from_int(b, 8)
+        assert la.eq(lb).to_int() == int(a == b)
+        assert la.lt(lb).to_int() == int(a < b)
+        assert la.ge(lb).to_int() == int(a >= b)
+
+    def test_compare_with_x_is_x(self):
+        assert Logic.from_int(3, 4).eq(Logic.unknown(4)).has_x
+
+    def test_case_eq_compares_x_literally(self):
+        a = Logic(4, 0b0010, 0b1000)
+        b = Logic(4, 0b0010, 0b1000)
+        assert a.case_eq(b).is_true()
+        assert a.case_eq(Logic(4, 0b0010, 0)).is_false()
+
+
+class TestLogicalAndReductions:
+    def test_logical_not_of_x_with_known_one_bit(self):
+        v = Logic(4, 0b0100, 0b0001)
+        assert v.logical_not().is_false()  # definitely truthy input
+
+    def test_logical_and_short_circuit_zero(self):
+        assert Logic(1, 0, 0).logical_and(Logic.unknown(1)).is_false()
+
+    def test_logical_or_with_known_one(self):
+        assert Logic.unknown(1).logical_or(Logic(1, 1, 0)).is_true()
+
+    def test_reduce_and(self):
+        assert Logic.from_int(0xF, 4).reduce_and().is_true()
+        assert Logic.from_int(0xE, 4).reduce_and().is_false()
+
+    def test_reduce_and_with_x_and_a_zero_bit(self):
+        v = Logic(4, 0b0110, 0b0001)  # bit3 known 0
+        assert v.reduce_and().is_false()
+
+    def test_reduce_or(self):
+        assert Logic.from_int(0, 4).reduce_or().is_false()
+        assert Logic(4, 0, 0b0010).reduce_or().has_x
+
+    @given(bits())
+    def test_reduce_xor_is_parity(self, a):
+        assert Logic.from_int(a, 8).reduce_xor().to_int() == bin(a).count("1") % 2
+
+
+class TestStructure:
+    def test_bit_select(self):
+        v = Logic.from_int(0b1010, 4)
+        assert v.bit(1).is_true()
+        assert v.bit(0).is_false()
+
+    def test_bit_out_of_range_is_x(self):
+        assert Logic.from_int(1, 4).bit(7).has_x
+
+    def test_slice(self):
+        v = Logic.from_int(0xAB, 8)
+        assert v.slice(7, 4).to_int() == 0xA
+        assert v.slice(3, 0).to_int() == 0xB
+
+    def test_slice_swapped_bounds(self):
+        assert Logic.from_int(0xAB, 8).slice(0, 3).to_int() == 0xB
+
+    def test_concat_orders_high_low(self):
+        hi = Logic.from_int(0xA, 4)
+        lo = Logic.from_int(0xB, 4)
+        assert hi.concat(lo).to_int() == 0xAB
+
+    def test_concat_all(self):
+        parts = [Logic.from_int(x, 4) for x in (1, 2, 3)]
+        assert concat_all(parts).to_int() == 0x123
+
+    def test_concat_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat_all([])
+
+    def test_replicate(self):
+        assert Logic.from_int(0b10, 2).replicate(3).to_int() == 0b101010
+
+    def test_replicate_zero_raises(self):
+        with pytest.raises(ValueError):
+            Logic.from_int(1, 1).replicate(0)
+
+    def test_resize_extends_and_truncates(self):
+        v = Logic.from_int(0xF, 4)
+        assert v.resize(8).to_int() == 0xF
+        assert Logic.from_int(0xAB, 8).resize(4).to_int() == 0xB
+
+    @given(bits(4), bits(4))
+    def test_concat_then_slice_roundtrip(self, hi, lo):
+        v = Logic.from_int(hi, 4).concat(Logic.from_int(lo, 4))
+        assert v.slice(7, 4).to_int() == hi
+        assert v.slice(3, 0).to_int() == lo
+
+    def test_str_plain(self):
+        assert str(Logic.from_int(0xFF, 8)) == "8'hff"
+
+    def test_str_with_x(self):
+        assert "x" in str(Logic(2, 0b01, 0b10))

@@ -1,0 +1,211 @@
+"""Tests for HLS compatibility checking and repair templates."""
+
+import pytest
+
+from repro.hls import (check_compatibility, cparse, loop_bound, program_str,
+                       templates_for)
+from repro.hls.cast import CFor
+from repro.hls.compat import HlsIssue
+from repro.hls.interp import Machine
+from repro.hls.transforms import TEMPLATES
+
+
+def issues_of(src, top=None):
+    return check_compatibility(cparse(src), top).issues
+
+
+def codes_of(src, top=None):
+    return {i.code for i in issues_of(src, top)}
+
+
+class TestCompatChecker:
+    def test_clean_kernel(self):
+        src = """
+int f(int a[8], int k) {
+    int s = 0;
+    for (int i = 0; i < 8; i++) s += a[i] * k;
+    return s;
+}"""
+        assert codes_of(src) == set()
+
+    def test_malloc_detected_and_tool_visible(self):
+        report = check_compatibility(cparse(
+            "int f() { int *p = malloc(16); return 0; }"))
+        assert any(i.code == "HLS001" and i.tool_reported
+                   for i in report.issues)
+        assert "HLS001" in report.error_log()
+
+    def test_printf_detected(self):
+        assert "HLS005" in codes_of('int f() { printf("x"); return 0; }')
+
+    def test_while_is_latent(self):
+        report = check_compatibility(cparse(
+            "int f(int a) { while (a > 0) { a--; } return a; }"))
+        latent = {i.code for i in report.latent}
+        assert "HLS003" in latent
+
+    def test_recursion_detected(self):
+        assert "HLS002" in codes_of(
+            "int f(int n) { if (n == 0) { return 0; } return f(n - 1); }")
+
+    def test_mutual_recursion_detected(self):
+        src = """
+int g(int n);
+int f(int n) { if (n == 0) { return 0; } return g(n - 1); }
+int g(int n) { return f(n); }
+"""
+        assert "HLS002" in codes_of(src)
+
+    def test_unsized_pointer_param(self):
+        assert "HLS004" in codes_of("int f(int *p) { return p[0]; }")
+
+    def test_dynamic_division(self):
+        assert "HLS009" in codes_of("int f(int a, int b) { return a / b; }")
+
+    def test_constant_division_ok(self):
+        assert "HLS009" not in codes_of("int f(int a) { return a / 4; }")
+
+    def test_global_state(self):
+        assert "HLS008" in codes_of("int counter;\nint f() { return counter; }")
+
+    def test_top_restricts_scope(self):
+        src = """
+int helper() { printf("log"); return 1; }
+int clean(int a) { return a + 1; }
+"""
+        assert "HLS005" not in codes_of(src, top="clean")
+
+
+class TestLoopBound:
+    def _loop(self, src):
+        prog = cparse(src)
+        func = next(iter(prog.functions.values()))
+        return [s for s in func.body.stmts if isinstance(s, CFor)][0]
+
+    def test_simple_bound(self):
+        loop = self._loop("int f() { for (int i = 0; i < 10; i++) { } return 0; }")
+        assert loop_bound(loop) == 10
+
+    def test_le_bound(self):
+        loop = self._loop("int f() { for (int i = 0; i <= 10; i++) { } return 0; }")
+        assert loop_bound(loop) == 11
+
+    def test_strided(self):
+        loop = self._loop("int f() { for (int i = 0; i < 10; i += 3) { } return 0; }")
+        assert loop_bound(loop) == 4
+
+    def test_down_counting(self):
+        loop = self._loop("int f() { for (int i = 9; i >= 0; i--) { } return 0; }")
+        assert loop_bound(loop) == 10
+
+    def test_dynamic_bound_is_none(self):
+        loop = self._loop("int f(int n) { for (int i = 0; i < n; i++) { } return 0; }")
+        assert loop_bound(loop) is None
+
+
+class TestTemplates:
+    def _apply(self, template_id, src, top="f"):
+        prog = cparse(src)
+        report = check_compatibility(prog, top)
+        template = next(t for t in TEMPLATES if t.template_id == template_id)
+        issue = next((i for i in report.issues
+                      if i.code in template.issue_codes), None)
+        if issue is None:
+            issue = HlsIssue(template.issue_codes[0], "synthetic", 1, top,
+                             True)
+        return template.apply(prog, issue)
+
+    def test_every_issue_code_has_template(self):
+        for code in ("HLS001", "HLS002", "HLS003", "HLS004", "HLS005",
+                     "HLS006", "HLS009"):
+            assert templates_for(code), f"no template for {code}"
+
+    def test_malloc_to_static_preserves_semantics(self):
+        src = """
+int f(int n) {
+    int *buf = malloc(8 * sizeof(int));
+    int s = 0;
+    for (int i = 0; i < 8; i++) { buf[i] = i * n; }
+    for (int i = 0; i < 8; i++) { s += buf[i]; }
+    free(buf);
+    return s;
+}"""
+        outcome = self._apply("malloc_to_static", src)
+        assert outcome.applied
+        assert "malloc" not in program_str(outcome.program)
+        before = Machine(cparse(src)).call("f", 3).value
+        after = Machine(outcome.program).call("f", 3).value
+        assert before == after
+
+    def test_remove_io(self):
+        outcome = self._apply("remove_io",
+                              'int f() { printf("x"); return 1; }')
+        assert outcome.applied
+        assert "printf" not in program_str(outcome.program)
+
+    def test_while_to_bounded_preserves_semantics(self):
+        src = """
+int f(int a) {
+    int i = 0;
+    while (i < a) { i += 2; }
+    return i;
+}"""
+        outcome = self._apply("while_to_bounded_for", src)
+        assert outcome.applied
+        assert "while" not in program_str(outcome.program)
+        for value in (0, 5, 10):
+            assert Machine(cparse(src)).call("f", value).value \
+                == Machine(outcome.program).call("f", value).value
+        # And the rewritten loop is statically bounded.
+        assert "HLS003" not in {i.code for i in
+                                check_compatibility(outcome.program).issues}
+
+    def test_tail_recursion_to_loop(self):
+        src = """
+int f(int a, int b) {
+    if (b == 0) { return a; }
+    return f(b, a % b);
+}"""
+        outcome = self._apply("tail_recursion_to_loop", src)
+        assert outcome.applied
+        assert Machine(outcome.program).call("f", 48, 18).value == 6
+        assert "HLS002" not in {i.code for i in
+                                check_compatibility(outcome.program).issues}
+
+    def test_non_tail_recursion_rejected(self):
+        src = "int f(int n) { if (n <= 1) { return 1; } return n * f(n - 1); }"
+        outcome = self._apply("tail_recursion_to_loop", src)
+        assert not outcome.applied
+
+    def test_bound_pointer_param(self):
+        outcome = self._apply("bound_pointer_param",
+                              "int f(int *p) { return p[0]; }")
+        assert outcome.applied
+        func = outcome.program.function("f")
+        assert func.params[0].ctype.array_size == 64
+
+    def test_bound_pointer_respects_depth_pragma(self):
+        src = """
+#pragma HLS interface depth=128
+int f(int *p) { return p[0]; }
+"""
+        outcome = self._apply("bound_pointer_param", src)
+        assert outcome.program.function("f").params[0].ctype.array_size == 128
+
+    def test_allow_divider_adds_pragma(self):
+        outcome = self._apply("allow_divider",
+                              "int f(int a, int b) { return a / b; }")
+        assert outcome.applied
+        assert any("sdiv" in p for p in outcome.program.function("f").pragmas)
+
+    def test_pointer_arith_rewrite(self):
+        src = "int f(int p[8], int i) { return *(p + i); }"
+        outcome = self._apply("pointer_arith_to_index", src)
+        assert outcome.applied
+        assert "*(" not in program_str(outcome.program)
+        assert Machine(outcome.program).call("f", [5, 6, 7, 8, 0, 0, 0, 0],
+                                             2).value == 7
+
+    def test_not_applicable_reports_false(self):
+        outcome = self._apply("remove_io", "int f() { return 1; }")
+        assert not outcome.applied

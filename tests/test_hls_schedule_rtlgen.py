@@ -1,0 +1,170 @@
+"""Tests for pragma parsing, the schedule model, RTL generation and cosim."""
+
+import pytest
+
+from repro.hls import (c_rtl_cosim, cparse, cpu_fpga_cosim, estimate_schedule,
+                       find_loops, generate_rtl, parse_pragma, pipeline_ii,
+                       set_loop_pragmas, unroll_factor, RtlGenError)
+from repro.hls.cprinter import program_str
+
+
+class TestPragmas:
+    def test_parse_pipeline(self):
+        p = parse_pragma("#pragma HLS pipeline II=2")
+        assert p.kind == "pipeline" and p.int_option("ii", 1) == 2
+
+    def test_parse_unroll(self):
+        p = parse_pragma("#pragma HLS unroll factor=4")
+        assert p.int_option("factor", 1) == 4
+
+    def test_non_hls_pragma_ignored(self):
+        assert parse_pragma("#pragma once") is None
+
+    def test_pipeline_ii_helper(self):
+        assert pipeline_ii(("#pragma HLS pipeline II=3",)) == 3
+        assert pipeline_ii(("#pragma HLS unroll factor=2",)) is None
+
+    def test_unroll_helper_default(self):
+        assert unroll_factor(()) == 1
+
+    def test_find_and_set_loop_pragmas(self):
+        src = """
+int f(int a[8]) {
+    int s = 0;
+    for (int i = 0; i < 8; i++) { s += a[i]; }
+    return s;
+}"""
+        prog = cparse(src)
+        loops = find_loops(prog.function("f"))
+        assert len(loops) == 1
+        site, _ = loops[0]
+        updated = set_loop_pragmas(prog, site,
+                                   ("#pragma HLS pipeline II=1",))
+        new_loops = find_loops(updated.function("f"))
+        assert new_loops[0][1].pragmas == ("#pragma HLS pipeline II=1",)
+        # Round-trips through the printer.
+        assert "pipeline" in program_str(updated)
+
+
+MAC = """
+int mac(int a[8], int b[8]) {
+    int acc = 0;
+    for (int i = 0; i < 8; i++) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+"""
+
+
+class TestSchedule:
+    def test_baseline_latency(self):
+        report = estimate_schedule(cparse(MAC), "mac")
+        assert report.latency_cycles > 8      # at least a cycle per trip
+        assert report.ops.mul == 8
+        assert report.loop_details[0]["trips"] == 8
+
+    def test_pipeline_reduces_latency(self):
+        base = estimate_schedule(cparse(MAC), "mac")
+        piped_src = MAC.replace("for (int i", "for (int i",).replace(
+            "{\n        acc", "{\n    #pragma HLS pipeline II=1\n        acc")
+        piped = estimate_schedule(cparse(piped_src), "mac")
+        assert piped.latency_cycles < base.latency_cycles
+
+    def test_carried_dependency_limits_ii(self):
+        piped_src = MAC.replace(
+            "{\n        acc", "{\n    #pragma HLS pipeline II=1\n        acc")
+        report = estimate_schedule(cparse(piped_src), "mac")
+        detail = report.loop_details[0]
+        assert detail["carried_dependency"]
+        assert detail["achieved_ii"] >= detail["requested_ii"]
+
+    def test_unroll_raises_resources(self):
+        unrolled = MAC.replace(
+            "{\n        acc", "{\n    #pragma HLS unroll factor=4\n        acc")
+        base = estimate_schedule(cparse(MAC), "mac")
+        wide = estimate_schedule(cparse(unrolled), "mac")
+        assert wide.area_score > base.area_score
+        assert wide.latency_cycles <= base.latency_cycles
+
+    def test_runtime_us(self):
+        report = estimate_schedule(cparse(MAC), "mac", clock_ns=10.0)
+        assert report.runtime_us == pytest.approx(
+            report.latency_cycles / 100.0)
+
+
+class TestRtlGen:
+    def test_scalar_kernel(self):
+        rtl = generate_rtl(cparse("int f(int a, int b) { return a * b + 3; }"),
+                           "f")
+        assert "module f(" in rtl.source
+        assert rtl.scalar_inputs == ["a", "b"]
+
+    def test_loop_unrolled_kernel_cosim(self):
+        report = c_rtl_cosim(cparse(MAC), "mac", vectors=12)
+        assert report.equivalent, report.summary()
+
+    def test_if_merge_cosim(self):
+        src = """
+int f(int a, int b) {
+    int m = a;
+    if (b > a) { m = b; }
+    return m * 2;
+}"""
+        report = c_rtl_cosim(cparse(src), "f", vectors=20)
+        assert report.equivalent
+
+    def test_ternary_and_minmax_cosim(self):
+        src = "int f(int a, int b) { return min(a, b) + max(a, b); }"
+        report = c_rtl_cosim(cparse(src), "f", vectors=20)
+        assert report.equivalent
+
+    def test_width_override_narrows_wire(self):
+        rtl = generate_rtl(cparse("int f(int a) { int t = a + 1; return t; }"),
+                           "f", width_overrides={"t": 8})
+        assert "wire [7:0] t_" in rtl.source
+
+    def test_width_override_causes_mismatch(self):
+        src = "int f(int a) { int t = a + 200; return t; }"
+        report = c_rtl_cosim(cparse(src), "f", vectors=24,
+                             width_overrides={"t": 8})
+        assert not report.equivalent and report.mismatches
+
+    def test_while_rejected(self):
+        with pytest.raises(RtlGenError):
+            generate_rtl(cparse("int f(int a) { while (a > 0) { a--; } return a; }"),
+                         "f")
+
+    def test_early_return_one_branch_rejected(self):
+        with pytest.raises(RtlGenError):
+            generate_rtl(cparse(
+                "int f(int a) { if (a > 0) { return 1; } return a + 2; }"), "f")
+
+    def test_symmetric_early_return_ok(self):
+        src = "int f(int a) { if (a > 4) { return 1; } else { return 0; } }"
+        report = c_rtl_cosim(cparse(src), "f", vectors=16)
+        assert report.equivalent
+
+    def test_void_kernel_rejected(self):
+        with pytest.raises(RtlGenError):
+            generate_rtl(cparse("void f(int a[4]) { a[0] = 1; }"), "f")
+
+    def test_oversized_array_rejected(self):
+        with pytest.raises(RtlGenError):
+            generate_rtl(cparse("int f(int a[100]) { return a[0]; }"), "f")
+
+
+class TestCpuFpgaCosim:
+    def test_width_discrepancy_found(self):
+        prog = cparse("int f(int a) { int acc = a * a; return acc; }")
+        inputs = [[300], [10], [500]]
+        report = cpu_fpga_cosim(prog, "f", inputs,
+                                width_overrides={"acc": 16})
+        assert report.vectors_run == 3
+        assert report.mismatches   # 300*300 overflows 16 bits
+
+    def test_identical_when_wide_enough(self):
+        prog = cparse("int f(int a) { int acc = a + 1; return acc; }")
+        report = cpu_fpga_cosim(prog, "f", [[5], [10]],
+                                width_overrides={"acc": 31})
+        assert report.equivalent

@@ -1,0 +1,178 @@
+"""Tests for HLSTester: slicing, spectra, and the discrepancy campaign."""
+
+from repro.bench.workloads import TESTER_WORKLOADS
+from repro.bench.workloads import tester_workload as get_tester_workload
+from repro.hls import (CoverageMap, HlsTester, Machine, adapt_testbench,
+                       backward_slice, check_compatibility, cparse,
+                       spectrum_of)
+from repro.hls import test_kernel as run_campaign
+from repro.llm import SimulatedLLM
+
+
+KERNEL = """
+int mac(int a[8], int k) {
+    int acc = 0;
+    for (int i = 0; i < 8; i++) {
+        int scaled = a[i] * k;
+        acc += scaled;
+    }
+    return acc;
+}
+"""
+
+
+class TestSlicing:
+    def test_key_variables_reach_criterion(self):
+        result = backward_slice(cparse(KERNEL), "mac")
+        assert "acc" in result.key_variables
+        assert "scaled" in result.key_variables
+        assert "k" in result.key_variables
+
+    def test_unrelated_variable_excluded(self):
+        src = """
+int f(int a) {
+    int unrelated = 1234;
+    unrelated = unrelated * 2;
+    int out = a + 1;
+    return out;
+}"""
+        result = backward_slice(cparse(src), "f")
+        assert "out" in result.key_variables
+        assert "unrelated" not in result.key_variables
+
+    def test_control_dependencies_included(self):
+        src = """
+int f(int a, int sel) {
+    int out = 0;
+    if (sel > 3) { out = a; }
+    else { out = a * 2; }
+    return out;
+}"""
+        result = backward_slice(cparse(src), "f")
+        assert "sel" in result.key_variables
+
+    def test_array_params_are_criterion(self):
+        src = "void f(int out[4], int a) { out[0] = a; }"
+        result = backward_slice(cparse(src), "f")
+        assert "out" in result.criterion
+
+
+class TestSpectra:
+    def _spectrum(self, src, fn, *args):
+        machine = Machine(cparse(src), trace=True)
+        return spectrum_of(machine.call(fn, *args))
+
+    def test_same_input_same_spectrum(self):
+        a = self._spectrum(KERNEL, "mac", [1] * 8, 2)
+        b = self._spectrum(KERNEL, "mac", [1] * 8, 2)
+        assert a.signature() == b.signature()
+
+    def test_branchy_inputs_differ(self):
+        src = """
+int f(int a) {
+    if (a > 100) { return a * 2; }
+    return a;
+}"""
+        a = self._spectrum(src, "f", 5)
+        b = self._spectrum(src, "f", 500)
+        assert a.signature() != b.signature()
+
+    def test_coverage_map_redundancy(self):
+        cov = CoverageMap()
+        s = self._spectrum(KERNEL, "mac", [1] * 8, 2)
+        assert not cov.is_redundant(s)
+        assert cov.observe(s)
+        assert cov.is_redundant(s)
+        assert not cov.observe(s)
+
+    def test_key_variable_filter_shrinks_profile(self):
+        machine = Machine(cparse(KERNEL), trace=True)
+        result = machine.call("mac", list(range(8)), 3)
+        full = spectrum_of(result)
+        filtered = spectrum_of(result, {"acc"})
+        assert len(filtered.value_profile) <= len(full.value_profile)
+
+
+class TestAdaptTestbench:
+    def test_testbench_becomes_compatible(self):
+        tb = """
+int harness(int n) {
+    int *buf = malloc(8 * sizeof(int));
+    for (int i = 0; i < 8; i++) { buf[i] = i; }
+    int s = 0;
+    for (int i = 0; i < 8; i++) { s += buf[i] * n; }
+    printf("result %d\\n", s);
+    free(buf);
+    return s;
+}"""
+        adapted, applied = adapt_testbench(tb, "harness",
+                                           SimulatedLLM("gpt-4", seed=1))
+        assert applied
+        report = check_compatibility(cparse(adapted), "harness")
+        assert "HLS001" not in {i.code for i in report.issues}
+
+
+class TestCampaign:
+    def test_overflow_discrepancies_found(self):
+        w = get_tester_workload("mac_overflow")
+        report = run_campaign(w.source, w.top, w.width_overrides,
+                             budget=80, seed=3)
+        assert report.discrepancies
+        assert report.sims_run + report.sims_skipped \
+            == report.candidates_generated
+
+    def test_control_kernel_clean(self):
+        w = get_tester_workload("max_window")
+        report = run_campaign(w.source, w.top, w.width_overrides,
+                             budget=60, seed=3)
+        assert not report.discrepancies
+
+    def test_pipeline_hazard_detected(self):
+        w = get_tester_workload("pipelined_acc")
+        tester = HlsTester(w.source, w.top, pipeline_hazard=True,
+                           llm=SimulatedLLM("gpt-4", seed=2), seed=2)
+        report = tester.run(budget=60)
+        assert report.discrepancies
+
+    def test_redundancy_filter_skips_simulations(self):
+        w = get_tester_workload("mac_overflow")
+        with_filter = HlsTester(w.source, w.top, w.width_overrides,
+                                llm=SimulatedLLM("gpt-4", seed=4), seed=4,
+                                use_redundancy_filter=True).run(budget=100)
+        without = HlsTester(w.source, w.top, w.width_overrides,
+                            llm=SimulatedLLM("gpt-4", seed=4), seed=4,
+                            use_redundancy_filter=False).run(budget=100)
+        assert with_filter.sims_skipped > 0
+        assert without.sims_skipped == 0
+        assert with_filter.sims_run < without.sims_run
+
+    def test_llm_guidance_accelerates_discovery(self):
+        """Boundary-value proposals should find at least as many
+        discrepancies as blind mutation at matched budget."""
+        w = get_tester_workload("checksum16")
+        guided = HlsTester(w.source, w.top, w.width_overrides,
+                           llm=SimulatedLLM("gpt-4", seed=6), seed=6,
+                           use_llm_guidance=True).run(budget=80)
+        blind = HlsTester(w.source, w.top, w.width_overrides,
+                          llm=SimulatedLLM("gpt-4", seed=6), seed=6,
+                          use_llm_guidance=False).run(budget=80)
+        assert len(guided.discrepancies) >= len(blind.discrepancies)
+
+    def test_report_accounting(self):
+        w = get_tester_workload("scaled_sum")
+        report = run_campaign(w.source, w.top, w.width_overrides,
+                             budget=50, seed=1)
+        assert report.candidates_generated == 50
+        assert 0.0 <= report.skip_rate <= 1.0
+        assert report.coverage > 0
+        assert "candidates" in report.summary()
+
+    def test_all_tester_workloads_behave_as_annotated(self):
+        for w in TESTER_WORKLOADS:
+            report = HlsTester(w.source, w.top, w.width_overrides,
+                               pipeline_hazard=w.pipeline_hazard,
+                               llm=SimulatedLLM("gpt-4", seed=9),
+                               seed=9).run(budget=60)
+            found = bool(report.discrepancies)
+            assert found == w.has_discrepancy, \
+                f"{w.workload_id}: expected discrepancy={w.has_discrepancy}"

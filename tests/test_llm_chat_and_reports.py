@@ -1,0 +1,80 @@
+"""Tests for the chat session abstraction and reporting utilities."""
+
+from repro.bench import get_problem, make_task
+from repro.core.report import format_table
+from repro.llm import ChatSession, Message, SimulatedLLM
+from repro.llm.prompts import PromptStrategy
+
+
+class TestChatSession:
+    def _session(self, model="gpt-4", seed=0):
+        return ChatSession(SimulatedLLM(model, seed=seed),
+                           system="You are a hardware design assistant.")
+
+    def test_system_message_first(self):
+        chat = self._session()
+        assert chat.messages[0].role == "system"
+
+    def test_ask_for_design_appends_messages(self):
+        chat = self._session()
+        task = make_task(get_problem("c1_mux2"))
+        generation = chat.ask_for_design(task)
+        roles = [m.role for m in chat.messages]
+        assert roles == ["system", "user", "assistant"]
+        assert generation.text in chat.messages[-1].content
+
+    def test_tool_output_feeds_refinement(self):
+        chat = self._session(seed=5)
+        task = make_task(get_problem("c2_adder8"))
+        first = chat.ask_for_design(task, temperature=1.2)
+        chat.add_tool_output("COMPILE ERROR: syntax error")
+        second = chat.ask_for_design(task, temperature=1.2)
+        assert second.style_seed == first.style_seed  # refined, not fresh
+
+    def test_last_feedback(self):
+        chat = self._session()
+        assert chat.last_feedback() == ""
+        chat.add_tool_output("FAIL: q mismatch")
+        assert "FAIL" in chat.last_feedback()
+
+    def test_token_accounting(self):
+        chat = self._session()
+        before = chat.total_tokens
+        chat.add_user("please build an adder")
+        assert chat.total_tokens > before
+
+    def test_transcript_renders_roles(self):
+        chat = self._session()
+        chat.add_user("hello")
+        assert "[user] hello" in chat.transcript
+
+    def test_message_token_count(self):
+        assert Message("user", "a b c").tokens == 3
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_column_padding(self):
+        text = format_table(["col", "c2"], [["averylongcell", "b"]])
+        lines = text.splitlines()
+        assert lines[2].startswith("averylongcell")
+        header_col2 = lines[0].index("c2")
+        assert lines[2][header_col2] == "b"
+
+    def test_non_string_cells(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestConversationalStrategy:
+    def test_conversational_uses_refine_path_only_with_feedback(self):
+        chat = ChatSession(SimulatedLLM("gpt-4", seed=1))
+        task = make_task(get_problem("c1_and4"))
+        g1 = chat.ask_for_design(task, strategy=PromptStrategy.CONVERSATIONAL)
+        g2 = chat.ask_for_design(task, strategy=PromptStrategy.CONVERSATIONAL,
+                                 sample_index=1)
+        # No tool output between asks: both are fresh generations.
+        assert g1.style_seed != g2.style_seed or g1.text != g2.text

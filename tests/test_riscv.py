@@ -1,0 +1,321 @@
+"""Tests for the RISC-V substrate: ISA, assembler, compiler, core, power."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hls import Machine, cparse
+from repro.riscv import (AsmError, CompileError, CoreConfig, CoreStats,
+                         ExecutionFault, FpgaPowerMeter, Instruction,
+                         STATIC_POWER_W, assemble, compile_program, decode,
+                         encode, estimate_power, parse_register, run_program)
+from repro.riscv.core import Core
+
+
+class TestIsa:
+    def test_register_names(self):
+        assert parse_register("sp") == 2
+        assert parse_register("x31") == 31
+        assert parse_register("a0") == 10
+        with pytest.raises(ValueError):
+            parse_register("x32")
+
+    @pytest.mark.parametrize("instr", [
+        Instruction("add", rd=1, rs1=2, rs2=3),
+        Instruction("sub", rd=31, rs1=0, rs2=15),
+        Instruction("mul", rd=5, rs1=6, rs2=7),
+        Instruction("div", rd=5, rs1=6, rs2=7),
+        Instruction("addi", rd=4, rs1=4, imm=-7),
+        Instruction("slli", rd=4, rs1=4, imm=5),
+        Instruction("srai", rd=4, rs1=4, imm=3),
+        Instruction("lw", rd=8, rs1=2, imm=-12),
+        Instruction("sw", rs1=2, rs2=9, imm=2040),
+        Instruction("beq", rs1=1, rs2=2, imm=-8),
+        Instruction("bge", rs1=1, rs2=2, imm=4094),
+        Instruction("jal", rd=1, imm=2048),
+        Instruction("jalr", rd=0, rs1=1, imm=0),
+        Instruction("lui", rd=3, imm=0xFFFFF),
+    ], ids=str)
+    def test_encode_decode_roundtrip(self, instr):
+        decoded = decode(encode(instr))
+        assert decoded.mnemonic == instr.mnemonic
+        assert decoded.rd == instr.rd or instr.spec.fmt in ("S", "B")
+        if instr.spec.fmt in ("I", "S", "B", "J", "U"):
+            assert decoded.imm == instr.imm
+
+    @given(st.sampled_from(["add", "sub", "xor", "and", "mul", "rem"]),
+           st.integers(0, 31), st.integers(0, 31), st.integers(0, 31))
+    @settings(max_examples=40, deadline=None)
+    def test_rtype_roundtrip_property(self, m, rd, rs1, rs2):
+        instr = Instruction(m, rd=rd, rs1=rs1, rs2=rs2)
+        decoded = decode(encode(instr))
+        assert (decoded.mnemonic, decoded.rd, decoded.rs1, decoded.rs2) \
+            == (m, rd, rs1, rs2)
+
+    def test_decode_garbage_raises(self):
+        with pytest.raises(ValueError):
+            decode(0xFFFFFFFF)
+
+
+class TestAssembler:
+    def test_labels_and_branches(self):
+        prog = assemble("""
+_start:
+    li t0, 3
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    halt
+""")
+        assert "loop" in prog.labels
+        stats = run_program(prog)
+        assert stats.halted
+
+    def test_li_large_constant(self):
+        prog = assemble("_start:\n  li a0, 0x12345\n  halt")
+        stats = run_program(prog)
+        assert stats.return_value == 0x12345
+
+    def test_li_negative(self):
+        prog = assemble("_start:\n  li a0, -5\n  halt")
+        assert run_program(prog).return_value == -5
+
+    def test_memory_operands(self):
+        prog = assemble("""
+_start:
+    li sp, 0x1000
+    li t0, 77
+    sw t0, -4(sp)
+    lw a0, -4(sp)
+    halt
+""")
+        assert run_program(prog).return_value == 77
+
+    def test_pseudo_instructions(self):
+        prog = assemble("""
+_start:
+    li t0, 5
+    mv a0, t0
+    neg a0, a0
+    not a0, a0
+    halt
+""")
+        # not(neg(5)) = not(-5) = 4
+        assert run_program(prog).return_value == 4
+
+    def test_undefined_label(self):
+        with pytest.raises(AsmError):
+            assemble("_start:\n  j nowhere")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble("_start:\n  frobnicate a0, a1")
+
+    def test_disassembly_roundtrip(self):
+        prog = assemble("_start:\n  li t0, 3\n  add a0, t0, t0\n  halt")
+        text = prog.disassemble()
+        assert "add a0, t0, t0" in text
+
+
+class TestCompiler:
+    def run_c(self, src, expect=None):
+        prog = assemble(compile_program(src))
+        stats = run_program(prog)
+        if expect is not None:
+            assert stats.return_value == expect
+        return stats
+
+    def test_arith(self):
+        self.run_c("int main() { return 6 * 7; }", 42)
+
+    def test_locals_and_compound_assign(self):
+        self.run_c("int main() { int x = 10; x += 5; x *= 2; return x; }", 30)
+
+    def test_if_else(self):
+        self.run_c("int main() { int a = 3; if (a > 2) { return 1; } "
+                   "else { return 0; } }", 1)
+
+    def test_for_loop(self):
+        self.run_c("int main() { int s = 0; "
+                   "for (int i = 1; i <= 10; i++) { s += i; } return s; }", 55)
+
+    def test_while_break_continue(self):
+        self.run_c("""
+int main() {
+    int s = 0;
+    int i = 0;
+    while (1) {
+        i++;
+        if (i > 10) { break; }
+        if (i % 2 == 0) { continue; }
+        s += i;
+    }
+    return s;
+}""", 25)
+
+    def test_arrays(self):
+        self.run_c("""
+int main() {
+    int a[5];
+    for (int i = 0; i < 5; i++) { a[i] = i * i; }
+    int s = 0;
+    for (int i = 0; i < 5; i++) { s += a[i]; }
+    return s;
+}""", 30)
+
+    def test_function_calls(self):
+        self.run_c("""
+int square(int x) { return x * x; }
+int main() {
+    int a = square(5);
+    int b = square(6);
+    return a + b;
+}""", 61)
+
+    def test_recursion(self):
+        self.run_c("""
+int fib(int n) {
+    if (n < 2) { return n; }
+    int a = fib(n - 1);
+    int b = fib(n - 2);
+    return a + b;
+}
+int main() { return fib(10); }""", 55)
+
+    def test_division_and_modulo(self):
+        self.run_c("int main() { return 100 / 7 + 100 % 7; }", 16)
+
+    def test_ternary(self):
+        self.run_c("int main() { int a = 5; return a > 3 ? 10 : 20; }", 10)
+
+    def test_logical_short_circuit(self):
+        self.run_c("int main() { int a = 0; "
+                   "return (a != 0 && 10 / a > 1) ? 1 : 2; }", 2)
+
+    def test_builtin_abs_min_max(self):
+        self.run_c("int main() { return abs(0 - 5) + min(3, 9) + max(3, 9); }",
+                   17)
+
+    def test_matches_interpreter(self):
+        """Cross-check: the compiler+core agree with the C interpreter."""
+        src = """
+int work(int n) {
+    int arr[8];
+    int acc = 0;
+    for (int i = 0; i < 8; i++) { arr[i] = i * n + (i ^ n); }
+    for (int i = 0; i < 8; i++) {
+        if (arr[i] % 3 == 0) { acc += arr[i]; }
+        else { acc -= i; }
+    }
+    return acc;
+}
+int main() { return work(7); }
+"""
+        interp = Machine(cparse(src)).call("work", 7).value
+        core = self.run_c(src).return_value
+        assert interp == core
+
+    def test_too_many_params(self):
+        with pytest.raises(CompileError):
+            compile_program("int f(int a, int b, int c, int d, int e, "
+                            "int f_, int g) { return 0; } int main() { return 0; }")
+
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError):
+            compile_program("int main() { return ghost; }")
+
+
+class TestCore:
+    def test_ipc_bounded_by_fetch_width(self):
+        stats = run_program(assemble(compile_program(
+            "int main() { int s = 0; for (int i = 0; i < 500; i++) "
+            "{ s += i; } return s; }")))
+        assert 0 < stats.ipc <= CoreConfig().fetch_width
+
+    def test_timeout_detection(self):
+        src = "_start:\nspin:\n  j spin"
+        with pytest.raises(ExecutionFault):
+            Core(CoreConfig(max_instructions=1000)).run(assemble(src))
+
+    def test_branch_stats_tracked(self):
+        stats = run_program(assemble(compile_program(
+            "int main() { int s = 0; for (int i = 0; i < 100; i++) "
+            "{ if (i % 3 == 0) { s += 1; } } return s; }")))
+        assert stats.branch_count > 100
+        assert 0 <= stats.mispredict_rate <= 1
+
+    def test_cache_misses_for_large_strides(self):
+        small = run_program(assemble(compile_program("""
+int main() {
+    int a[16];
+    int s = 0;
+    for (int r = 0; r < 20; r++)
+        for (int i = 0; i < 16; i++) { a[i] = i; s += a[i]; }
+    return s;
+}""")))
+        assert small.cache_misses < small.mem_reads + small.mem_writes
+
+    def test_unit_activity_in_range(self):
+        stats = run_program(assemble(compile_program(
+            "int main() { int s = 1; for (int i = 0; i < 100; i++) "
+            "{ s = s * 3 + i; } return s; }")))
+        for unit, act in stats.unit_activity.items():
+            assert 0.0 <= act <= 1.0, unit
+
+
+class TestPower:
+    def _stats(self, src) -> CoreStats:
+        return run_program(assemble(compile_program(src)))
+
+    def test_power_above_static_floor(self):
+        stats = self._stats("int main() { int s = 0; for (int i = 0; i < 200; "
+                            "i++) { s += i; } return s; }")
+        power = estimate_power(stats)
+        assert power.total_w > STATIC_POWER_W
+
+    def test_mul_heavy_burns_more_than_idleish(self):
+        lean = self._stats("int main() { int s = 0; for (int i = 0; i < 300; "
+                           "i++) { s = s | 1; } return s; }")
+        muls = self._stats("""
+int main() {
+    int a = 0x5A5A; int b = 0x1234; int s1 = 1; int s2 = 2;
+    for (int i = 0; i < 300; i++) {
+        s1 = s1 + a * b; s2 = s2 + b * s1; a = a ^ s2; b = b + 7;
+    }
+    return s1 + s2;
+}""")
+        assert estimate_power(muls).unit_w["mul"] \
+            > estimate_power(lean).unit_w["mul"]
+
+    def test_breakdown_sums_to_total(self):
+        stats = self._stats("int main() { return 1; }")
+        p = estimate_power(stats)
+        parts = (p.static_w + p.frontend_w + p.rob_w + sum(p.unit_w.values())
+                 + p.branch_recovery_w + p.memory_w)
+        assert p.total_w == pytest.approx(parts)
+
+
+class TestFpgaMeter:
+    def test_measurement_advances_clock(self):
+        meter = FpgaPowerMeter(seed=1)
+        m = meter.measure_c("int main() { return 3; }")
+        assert m.ok and m.watts > 0
+        assert meter.elapsed_seconds == pytest.approx(
+            meter.seconds_per_measurement)
+
+    def test_noise_is_seeded(self):
+        a = FpgaPowerMeter(seed=5).measure_c("int main() { return 3; }").watts
+        b = FpgaPowerMeter(seed=5).measure_c("int main() { return 3; }").watts
+        assert a == b
+
+    def test_compile_error_fails_fast(self):
+        meter = FpgaPowerMeter(seed=1)
+        m = meter.measure_c("int main( {")
+        assert not m.ok
+        assert meter.elapsed_seconds == pytest.approx(
+            meter.seconds_per_failure)
+
+    def test_runtime_fault_scores_zero(self):
+        meter = FpgaPowerMeter(seed=1,
+                               config=CoreConfig(max_instructions=500))
+        m = meter.measure_c("int main() { while (1) { } return 0; }")
+        assert not m.ok and "timeout" in m.error

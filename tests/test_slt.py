@@ -1,0 +1,242 @@
+"""Tests for the SLT optimization loop, pool, temperature, and GP baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm import SimulatedLLM
+from repro.riscv import FpgaPowerMeter
+from repro.slt import (Candidate, CandidatePool, GeneticProgramming, GpConfig,
+                       HANDWRITTEN_SEEDS, RANGES, SltConfig, SltOptimizer,
+                       SltSnippetGenerator, SnippetGenome, StopCondition,
+                       TemperatureController, crossover, mutate_genome,
+                       random_genome, run_gp_slt, run_llm_slt)
+from repro.hls import cparse
+from repro.riscv import assemble, compile_program, run_program
+
+
+class TestGenomes:
+    def test_render_compiles_and_runs(self):
+        for genome in HANDWRITTEN_SEEDS:
+            src = genome.render()
+            stats = run_program(assemble(compile_program(src)))
+            assert stats.halted
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_genomes_render_valid_c(self, seed):
+        genome = random_genome(random.Random(seed), realistic=True)
+        cparse(genome.render())  # must parse
+
+    def test_clamp_respects_ranges(self):
+        wild = SnippetGenome(n_accs=99, loop_iters=1, unroll=50, mul_ops=9,
+                             xor_ops=9, add_ops=9, mem_size=9999,
+                             mem_stride=99, div_every=99, branch_every=99)
+        clamped = wild.clamped(realistic=True)
+        for name, (lo_hi, _) in RANGES.items():
+            lo, hi = lo_hi
+            assert lo <= getattr(clamped, name) <= hi
+
+    def test_realistic_envelope_check(self):
+        assert HANDWRITTEN_SEEDS[0].is_realistic()
+        wild = SnippetGenome(unroll=8).clamped(realistic=False)
+        assert not wild.is_realistic()
+
+    def test_mutation_stays_in_envelope(self):
+        rng = random.Random(1)
+        genome = HANDWRITTEN_SEEDS[0]
+        for _ in range(20):
+            genome = mutate_genome(genome, rng, realistic=True)
+        assert genome.clamped(realistic=True) == genome
+
+    def test_crossover_mixes_fields(self):
+        rng = random.Random(2)
+        a = random_genome(rng)
+        b = random_genome(rng)
+        child = crossover(a, b, rng)
+        for name in RANGES:
+            assert getattr(child, name) in (getattr(a, name),
+                                            getattr(b, name))
+
+
+class TestPool:
+    def _cand(self, genome_seed, power, sid):
+        genome = random_genome(random.Random(genome_seed))
+        return Candidate(genome.render(), genome, power, sid)
+
+    def test_admits_until_capacity(self):
+        pool = CandidatePool(capacity=3, min_distance=0)
+        for i in range(3):
+            assert pool.consider(self._cand(i * 17, 4.0 + i * 0.1, i))
+        assert len(pool.entries) == 3
+
+    def test_weak_candidate_rejected_at_capacity(self):
+        pool = CandidatePool(capacity=2, min_distance=0)
+        pool.consider(self._cand(1, 5.0, 1))
+        pool.consider(self._cand(50, 5.5, 2))
+        assert not pool.consider(self._cand(99, 4.0, 3))
+        assert pool.rejected_weak == 1
+
+    def test_better_candidate_replaces_worst(self):
+        pool = CandidatePool(capacity=2, min_distance=0)
+        pool.consider(self._cand(1, 5.0, 1))
+        pool.consider(self._cand(50, 5.5, 2))
+        assert pool.consider(self._cand(99, 6.0, 3))
+        assert pool.worst.power_w >= 5.5
+
+    def test_similar_candidate_rejected_unless_better(self):
+        pool = CandidatePool(capacity=4, min_distance=5)
+        genome = HANDWRITTEN_SEEDS[0]
+        base = Candidate(genome.render(), genome, 5.0, 1)
+        pool.consider(base)
+        twin_weak = Candidate(genome.render(), genome, 4.5, 2)
+        assert not pool.consider(twin_weak)
+        assert pool.rejected_similar == 1
+        twin_strong = Candidate(genome.render(), genome, 5.5, 3)
+        assert pool.consider(twin_strong)
+        assert len(pool.entries) == 1
+        assert pool.best.power_w == 5.5
+
+    def test_sample_examples(self):
+        pool = CandidatePool(capacity=8, min_distance=0)
+        for i in range(5):
+            pool.consider(self._cand(i * 31, 4.0 + i * 0.01, i))
+        sampled = pool.sample_examples(3, random.Random(0))
+        assert len(sampled) == 3
+
+    def test_diversity_metric(self):
+        pool = CandidatePool(capacity=8, min_distance=0)
+        pool.consider(self._cand(1, 5.0, 1))
+        pool.consider(self._cand(500, 5.1, 2))
+        assert pool.mean_pairwise_distance() > 0
+
+
+class TestTemperature:
+    def test_good_novel_snippet_cools(self):
+        tc = TemperatureController(initial=0.7)
+        t = tc.update(score=5.0, best_score=5.0, distance_to_pool=50,
+                      min_distance=8)
+        assert t < 0.7
+
+    def test_failure_heats(self):
+        tc = TemperatureController(initial=0.7)
+        t = tc.update(score=0.0, best_score=5.0, distance_to_pool=50,
+                      min_distance=8)
+        assert t > 0.7
+
+    def test_me_too_snippet_heats(self):
+        tc = TemperatureController(initial=0.7)
+        t = tc.update(score=5.0, best_score=5.0, distance_to_pool=2,
+                      min_distance=8)
+        assert t > 0.7
+
+    def test_bounds_respected(self):
+        tc = TemperatureController(initial=0.25, minimum=0.2, maximum=1.3)
+        for _ in range(50):
+            tc.update(5.0, 5.0, 50, 8)
+        assert tc.temperature >= 0.2
+        tc2 = TemperatureController(initial=1.2, minimum=0.2, maximum=1.3)
+        for _ in range(50):
+            tc2.update(0.0, 5.0, 50, 8)
+        assert tc2.temperature <= 1.3
+
+    def test_stagnation_restart_heats(self):
+        tc = TemperatureController(initial=0.5)
+        for _ in range(26):
+            tc.update(3.0, 5.0, 50, 8)   # novel but mediocre
+        assert tc.temperature > 0.2
+        assert len(tc.history) == 27
+
+
+class TestStopConditions:
+    def test_time_budget(self):
+        stop = StopCondition(max_hours=1.0)
+        assert stop.should_stop(1.2, 10, 0) is not None
+        assert stop.should_stop(0.5, 10, 0) is None
+
+    def test_snippet_budget(self):
+        stop = StopCondition(max_snippets=100)
+        assert stop.should_stop(0.1, 100, 0) is not None
+
+    def test_manual(self):
+        assert StopCondition(manual_stop=True).should_stop(0, 0, 0) \
+            == "manual stop"
+
+    def test_plateau(self):
+        stop = StopCondition(plateau_snippets=50)
+        assert stop.should_stop(0.1, 200, 50) is not None
+        assert stop.should_stop(0.1, 200, 49) is None
+
+
+class TestGeneratorAndLoop:
+    def test_generator_deterministic(self):
+        gen_a = SltSnippetGenerator(SimulatedLLM("gpt-4", seed=3), seed=3)
+        gen_b = SltSnippetGenerator(SimulatedLLM("gpt-4", seed=3), seed=3)
+        a = gen_a.generate([], 0.7, 5)
+        b = gen_b.generate([], 0.7, 5)
+        assert a.source == b.source
+
+    def test_scot_produces_pseudocode(self):
+        gen = SltSnippetGenerator(SimulatedLLM("gpt-4", seed=1),
+                                  use_scot=True, seed=1)
+        out = gen.generate([], 0.7, 1)
+        assert out.pseudocode.startswith("PLAN:")
+
+    def test_scot_reduces_compile_failures(self):
+        def failure_rate(use_scot):
+            gen = SltSnippetGenerator(
+                SimulatedLLM("codellama-34b-instruct", seed=2),
+                use_scot=use_scot, seed=2)
+            fails = 0
+            for i in range(60):
+                if not gen.generate([], 0.9, i).compiles_intent:
+                    fails += 1
+            return fails
+
+        assert failure_rate(True) < failure_rate(False)
+
+    def test_low_temperature_anchors_on_best_example(self):
+        llm = SimulatedLLM("codellama-34b-instruct-ft", seed=4)
+        gen = SltSnippetGenerator(llm, seed=4)
+        examples = []
+        for i, genome in enumerate(HANDWRITTEN_SEEDS[:3]):
+            examples.append(Candidate(genome.render(), genome,
+                                      4.0 + i * 0.3, i))
+        anchored = 0
+        for i in range(30):
+            out = gen.generate(examples, temperature=0.2, sample_index=i)
+            if out.anchored_on is not None:
+                anchored += 1
+        assert anchored > 15
+
+    def test_short_llm_run_improves_over_seeds(self):
+        meter = FpgaPowerMeter(seed=11)
+        optimizer = SltOptimizer(SimulatedLLM("codellama-34b-instruct-ft",
+                                              seed=11),
+                                 meter, SltConfig(), seed=11)
+        result = optimizer.run(StopCondition(max_snippets=25))
+        assert result.snippets_generated == 25
+        assert result.best_power_w > 0
+        seed_best = max(
+            FpgaPowerMeter(seed=11).measure_c(g.render()).watts
+            for g in HANDWRITTEN_SEEDS)
+        assert result.best_power_w >= seed_best * 0.98
+
+    def test_events_record_monotone_best(self):
+        result = run_llm_slt(hours=0.3, seed=3)
+        bests = [e.best_w for e in result.events]
+        assert all(b2 >= b1 for b1, b2 in zip(bests, bests[1:]))
+
+    def test_gp_runs_and_improves(self):
+        result = run_gp_slt(hours=0.4, seed=3)
+        assert result.snippets_generated > 10
+        assert result.best_power_w > 4.0
+
+    def test_gp_realistic_only_constrains(self):
+        result = run_gp_slt(hours=0.3, seed=5, realistic_only=True)
+        assert result.best_power_w > 0
+
+    def test_stop_reason_propagates(self):
+        result = run_llm_slt(hours=0.1, seed=1)
+        assert "time budget" in result.stop_reason

@@ -1,0 +1,101 @@
+"""Tests for hierarchy flattening and hierarchical synthesis."""
+
+import pytest
+
+from repro.bench import get_problem
+from repro.hdl import parse
+from repro.synth import (SynthesisError, check_against_simulation, flatten,
+                         synthesize_source)
+
+
+HIER = """
+module inv(input [3:0] a, output [3:0] y);
+  assign y = ~a;
+endmodule
+
+module double_inv(input [3:0] a, output [3:0] y);
+  wire [3:0] mid;
+  inv u0(.a(a), .y(mid));
+  inv u1(.a(mid), .y(y));
+endmodule
+"""
+
+
+class TestFlatten:
+    def test_leaf_module_unchanged(self):
+        sf = parse(HIER)
+        flat = flatten(sf, "inv")
+        assert flat is sf.modules["inv"]
+
+    def test_instances_inlined(self):
+        flat = flatten(parse(HIER), "double_inv")
+        assert flat.instances == ()
+        names = {n.name for n in flat.nets}
+        assert "u_u0_a" in names and "u_u1_y" in names
+
+    def test_flattened_design_equivalent(self):
+        flat = flatten(parse(HIER), "double_inv")
+        synth = synthesize_source(HIER, "double_inv")
+        cec = check_against_simulation(synth, HIER, flat, vectors=16)
+        assert cec.equivalent
+
+    def test_two_level_hierarchy(self):
+        src = HIER + """
+module quad_inv(input [3:0] a, output [3:0] y);
+  wire [3:0] mid;
+  double_inv d0(.a(a), .y(mid));
+  double_inv d1(.a(mid), .y(y));
+endmodule
+"""
+        flat = flatten(parse(src), "quad_inv")
+        synth = synthesize_source(src, "quad_inv")
+        cec = check_against_simulation(synth, src, flat, vectors=16)
+        assert cec.equivalent
+
+    def test_parameter_override_through_flatten(self):
+        src = """
+module addk #(parameter K = 1)(input [7:0] a, output [7:0] y);
+  assign y = a + K;
+endmodule
+module top(input [7:0] a, output [7:0] y);
+  addk #(.K(5)) u(.a(a), .y(y));
+endmodule
+"""
+        flat = flatten(parse(src), "top")
+        synth = synthesize_source(src, "top")
+        cec = check_against_simulation(synth, src, flat, vectors=20)
+        assert cec.equivalent
+
+    def test_slice_connected_outputs(self):
+        problem = get_problem("c5_crypto_round")
+        synth = synthesize_source(problem.reference, "cround")
+        flat = flatten(parse(problem.reference), "cround")
+        cec = check_against_simulation(synth, problem.reference, flat,
+                                       vectors=24)
+        assert cec.equivalent
+
+    def test_unknown_module_raises(self):
+        with pytest.raises(SynthesisError):
+            flatten(parse(HIER), "ghost")
+
+    def test_unknown_instance_module_raises(self):
+        src = "module top(input a, output y); ghost u(.a(a), .y(y)); endmodule"
+        with pytest.raises(SynthesisError):
+            flatten(parse(src), "top")
+
+    def test_partial_driver_gap_detected(self):
+        src = """
+module top(input [3:0] a, output [7:0] y);
+  assign y[3:0] = a;
+endmodule
+"""
+        with pytest.raises(SynthesisError):
+            synthesize_source(src, "top")
+
+    def test_agent_synthesizes_hierarchical_design(self):
+        from repro.core import AgentConfig, EdaAgent
+        agent = EdaAgent(AgentConfig(model="gpt-4o"), seed=4)
+        report = agent.run(get_problem("c5_crypto_round"))
+        stages = dict((s, ok) for s, ok, _ in report.stage_table())
+        if stages.get("verification"):
+            assert stages.get("synthesis"), report.summary()
