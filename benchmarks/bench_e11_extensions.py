@@ -15,7 +15,7 @@ testable systems:
 from _util import full_eval, print_table
 
 from repro.bench import get_problem
-from repro.flows import detection_sweep, guided_debug
+from repro.flows import detection_sweep, guided_debug, guided_debug_sweep
 from repro.hls import extract_kernels
 from repro.llm import SimulatedLLM
 
@@ -34,20 +34,18 @@ def test_e11_guided_debugging(benchmark):
 
     wins = {True: 0, False: 0}
     iters = {True: 0, False: 0}
-    total = 0
     # A mid-tier model at high temperature: the regime where debugging help
     # matters (a top model rarely needs more than the first attempt).
-    for seed in SEEDS:
-        for problem in problems:
-            for use_x in (True, False):
-                r = guided_debug(problem,
-                                 SimulatedLLM("codellama-34b-instruct",
-                                              seed=seed),
-                                 use_crosscheck=use_x, temperature=1.3,
-                                 seed=seed)
-                wins[use_x] += r.success
-                iters[use_x] += r.iterations
-            total += 1
+    # Each (seed, problem) cell is independent, so the sweep honours
+    # REPRO_JOBS (results are identical to the serial loop).
+    total = len(SEEDS) * len(problems)
+    for use_x in (True, False):
+        sweep = guided_debug_sweep(problems, model="codellama-34b-instruct",
+                                   seeds=SEEDS, use_crosscheck=use_x,
+                                   temperature=1.3)
+        assert len(sweep.results) == total
+        wins[use_x] = sum(r.success for r in sweep.results)
+        iters[use_x] = sum(r.iterations for r in sweep.results)
     print_table(
         "E11a: high-level guided RTL debugging (Section VI)",
         ["feedback", "debug success", "mean iterations"],

@@ -1,0 +1,142 @@
+"""Perf trajectory benchmark: compile cache + parallel evaluation engine.
+
+Measures the hot path every flow bottoms out in — ``run_testbench`` — in
+four regimes (cold vs cached compile, serial vs parallel ``evaluate_model``)
+and writes ``BENCH_perf.json`` at the repo root so future PRs have a
+throughput baseline to regress against.
+
+Run standalone (``python benchmarks/bench_perf.py``) or via pytest
+(``pytest benchmarks/bench_perf.py -s``).  ``REPRO_FULL_EVAL=1`` raises the
+iteration budgets.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _util import full_eval, print_table  # noqa: E402
+
+from repro.bench import all_problems, evaluate_model  # noqa: E402
+from repro.hdl import CompileCache, compile_design, run_testbench  # noqa: E402
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_REPO_ROOT, "BENCH_perf.json")
+
+
+def _rate(count: int, elapsed: float) -> float:
+    return count / elapsed if elapsed > 0 else float("inf")
+
+
+def bench_compile(iters: int) -> dict:
+    """compiles/sec: cold front-end vs content-addressed cache hit."""
+    problem = all_problems()[3]
+    units = (problem.reference, problem.testbench)
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        compile_design(units, problem.tb_name, cache=CompileCache())
+    cold = time.perf_counter() - t0
+    warm_cache = CompileCache()
+    compile_design(units, problem.tb_name, cache=warm_cache)  # prime
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        compile_design(units, problem.tb_name, cache=warm_cache)
+    cached = time.perf_counter() - t0
+    return {"iters": iters,
+            "cold_per_sec": round(_rate(iters, cold), 1),
+            "cached_per_sec": round(_rate(iters, cached), 1),
+            "speedup": round(cold / cached, 2) if cached else float("inf")}
+
+
+def bench_run_testbench(iters: int) -> dict:
+    """runs/sec on a repeated identical candidate/testbench pair."""
+    problem = all_problems()[3]
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        run_testbench(problem.reference, problem.tb_name,
+                      tb_source=problem.testbench, cache=CompileCache())
+    cold = time.perf_counter() - t0
+    warm_cache = CompileCache()
+    run_testbench(problem.reference, problem.tb_name,
+                  tb_source=problem.testbench, cache=warm_cache)  # prime
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        run_testbench(problem.reference, problem.tb_name,
+                      tb_source=problem.testbench, cache=warm_cache)
+    cached = time.perf_counter() - t0
+    return {"iters": iters,
+            "cold_per_sec": round(_rate(iters, cold), 1),
+            "cached_per_sec": round(_rate(iters, cached), 1),
+            "speedup": round(cold / cached, 2) if cached else float("inf")}
+
+
+def bench_evaluate_model(k: int) -> dict:
+    """Serial vs parallel suite evaluation wall-clock (identical stats)."""
+    problems = all_problems()[:8]
+    jobs = max(1, os.cpu_count() or 1)
+    # Fresh caches so both runs pay the same compile costs.
+    from repro.hdl import set_default_cache
+    set_default_cache(CompileCache())
+    t0 = time.perf_counter()
+    serial = evaluate_model("gpt-4", problems, k=k, temperature=1.2, seed=7,
+                            jobs=1)
+    serial_s = time.perf_counter() - t0
+    set_default_cache(CompileCache())
+    t0 = time.perf_counter()
+    parallel = evaluate_model("gpt-4", problems, k=k, temperature=1.2,
+                              seed=7, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+    set_default_cache(CompileCache())
+    identical = all(
+        [s.passed for s in sp.samples] == [s.passed for s in pp.samples]
+        and [s.score for s in sp.samples] == [s.score for s in pp.samples]
+        for sp, pp in zip(serial.problems, parallel.problems))
+    return {"k": k, "jobs": jobs,
+            "serial_s": round(serial_s, 3),
+            "parallel_s": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 2) if parallel_s else 0.0,
+            "identical_stats": identical}
+
+
+def main() -> dict:
+    iters = 200 if full_eval() else 40
+    data = {
+        "cpus": os.cpu_count(),
+        "compile": bench_compile(iters),
+        "run_testbench": bench_run_testbench(iters),
+        "evaluate_model": bench_evaluate_model(4 if full_eval() else 2),
+    }
+    with open(_OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    rows = [
+        ["compile", data["compile"]["cold_per_sec"],
+         data["compile"]["cached_per_sec"], data["compile"]["speedup"]],
+        ["run_testbench", data["run_testbench"]["cold_per_sec"],
+         data["run_testbench"]["cached_per_sec"],
+         data["run_testbench"]["speedup"]],
+    ]
+    print_table("E-perf: compile cache throughput (per sec)",
+                ["path", "cold", "cached", "speedup"], rows)
+    ev = data["evaluate_model"]
+    print_table("E-perf: evaluate_model wall-clock",
+                ["jobs", "serial_s", "parallel_s", "speedup", "identical"],
+                [[ev["jobs"], ev["serial_s"], ev["parallel_s"],
+                  ev["speedup"], ev["identical_stats"]]])
+    return data
+
+
+def test_perf_trajectory(benchmark=None):
+    data = main()
+    # Cache-hit path must be at least 2x the cold path (it is ~100x: the
+    # result memo makes repeated identical runs nearly free).
+    assert data["run_testbench"]["speedup"] >= 2.0
+    assert data["compile"]["speedup"] >= 2.0
+    assert data["evaluate_model"]["identical_stats"]
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..exec import ParallelEvaluator, evaluate_candidate_task
 from ..hdl import run_testbench
 from ..hdl.testbench import TestbenchResult
 from ..llm.model import Generation, GenerationTask, SimulatedLLM
@@ -30,9 +31,14 @@ def make_task(problem: Problem) -> GenerationTask:
 
 def evaluate_candidate(problem: Problem, candidate_source: str,
                        max_time: int = 200_000) -> TestbenchResult:
-    """Score one candidate design against the problem's testbench."""
-    return run_testbench(candidate_source + "\n" + problem.testbench,
-                         problem.tb_name, max_time=max_time)
+    """Score one candidate design against the problem's testbench.
+
+    The candidate and the testbench are compiled as separate units so the
+    compile cache parses each problem's testbench once per suite rather
+    than once per sample (see :mod:`repro.hdl.compile`).
+    """
+    return run_testbench(candidate_source, problem.tb_name,
+                         max_time=max_time, tb_source=problem.testbench)
 
 
 @dataclass
@@ -98,19 +104,36 @@ class SuiteEval:
 def evaluate_model(model: str | SimulatedLLM, problems: list[Problem],
                    k: int = 1, temperature: float = 0.7,
                    strategy: PromptStrategy = PromptStrategy.DIRECT,
-                   seed: int = 0) -> SuiteEval:
-    """Sample ``k`` candidates per problem and score them all."""
+                   seed: int = 0, jobs: int | str | None = None,
+                   mode: str = "auto",
+                   timeout: float | None = None) -> SuiteEval:
+    """Sample ``k`` candidates per problem and score them all.
+
+    ``jobs`` fans the (independent, CPU-bound) testbench evaluations out
+    over a worker pool; unset, it falls back to the ``REPRO_JOBS``
+    environment variable and then to serial.  Generation stays in-process
+    and scoring is a pure function of the candidate text, so the parallel
+    path produces statistics identical to the serial path for a fixed seed.
+    """
     llm = model if isinstance(model, SimulatedLLM) else SimulatedLLM(model,
                                                                      seed=seed)
     suite = SuiteEval(model=llm.profile.name, strategy=strategy)
+    generations: list[list[Generation]] = []
     for problem in problems:
         task = make_task(problem)
         prompt = Prompt(spec=problem.spec, strategy=strategy)
+        generations.append([llm.generate(task, prompt, temperature,
+                                         sample_index=i) for i in range(k)])
+    evaluator = ParallelEvaluator(jobs, mode=mode, timeout=timeout)
+    payloads = [(problem, gen.text, 200_000)
+                for problem, gens in zip(problems, generations)
+                for gen in gens]
+    results = evaluator.map(evaluate_candidate_task, payloads)
+    cursor = 0
+    for problem, gens in zip(problems, generations):
         pe = ProblemEval(problem.problem_id)
-        for i in range(k):
-            generation = llm.generate(task, prompt, temperature,
-                                      sample_index=i)
-            result = evaluate_candidate(problem, generation.text)
-            pe.samples.append(SampleOutcome(generation, result))
+        for gen in gens:
+            pe.samples.append(SampleOutcome(gen, results[cursor]))
+            cursor += 1
         suite.problems.append(pe)
     return suite

@@ -1,0 +1,20 @@
+"""``repro.exec`` — parallel evaluation engine.
+
+Fans independent, CPU-bound tool invocations (testbench scoring, stimulus
+co-simulation, trojan detection) out over a ``concurrent.futures`` pool
+with deterministic result ordering, per-task timeouts, and a ``REPRO_JOBS``
+environment knob.  See :mod:`repro.exec.parallel`.
+"""
+
+from .parallel import (EvaluationTimeout, JOBS_ENV, ParallelEvaluator,
+                       parallel_map, resolve_jobs)
+from .tasks import (detect_trojan_task, evaluate_candidate_task,
+                    exercise_module_task, guided_debug_task,
+                    run_testbench_task, timed_out_testbench)
+
+__all__ = [
+    "EvaluationTimeout", "JOBS_ENV", "ParallelEvaluator",
+    "detect_trojan_task", "evaluate_candidate_task", "exercise_module_task",
+    "guided_debug_task", "parallel_map", "resolve_jobs",
+    "run_testbench_task", "timed_out_testbench",
+]

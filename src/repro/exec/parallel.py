@@ -1,0 +1,144 @@
+"""Parallel evaluation engine for CPU-bound EDA-tool invocations.
+
+LLM-for-EDA loops are gated by tool-invocation throughput: pass@k sampling,
+VRank self-consistency clustering and trojan-detection sweeps all score
+many *independent* candidates.  :class:`ParallelEvaluator` fans those
+evaluations out over a ``concurrent.futures`` pool while guaranteeing:
+
+* **deterministic ordering** — results come back in submission order, so a
+  parallel run assembles byte-identical statistics to the serial run;
+* **process-pool default** for CPU-bound simulation (fork start method where
+  available so worker state — e.g. hash randomization — matches the parent),
+  with a thread fallback when tasks are not picklable or process spawning is
+  unavailable;
+* **per-task timeouts** — a stuck evaluation yields ``timeout_result``
+  instead of wedging the whole sweep;
+* a ``REPRO_JOBS`` environment knob so every flow and benchmark script can
+  be parallelized without threading a parameter through each call site.
+
+Job resolution order: explicit ``jobs`` argument > ``REPRO_JOBS`` env var >
+serial (1).  ``jobs="auto"`` or any value < 0 means one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import (Future, ProcessPoolExecutor,
+                                ThreadPoolExecutor, TimeoutError as
+                                FutureTimeout)
+from typing import Any, Callable, Iterable, Sequence
+
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | str | None = None) -> int:
+    """Resolve a worker count from the argument or the environment."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if not env:
+            return 1
+        jobs = env
+    if isinstance(jobs, str):
+        if jobs.lower() == "auto":
+            jobs = -1
+        else:
+            try:
+                jobs = int(jobs)
+            except ValueError:
+                return 1
+    if jobs < 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, jobs)
+
+
+class EvaluationTimeout(Exception):
+    """A task exceeded the evaluator's per-task timeout."""
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return None
+
+
+class ParallelEvaluator:
+    """Order-preserving map over a process (or thread) pool.
+
+    ``mode`` is one of ``"auto"`` (process pool, thread fallback),
+    ``"process"``, ``"thread"``, or ``"serial"``.  With one job the
+    evaluator always degrades to a plain in-process loop, so the serial
+    path stays byte-for-byte identical to the pre-parallel code.
+    """
+
+    def __init__(self, jobs: int | str | None = None, mode: str = "auto",
+                 timeout: float | None = None):
+        if mode not in ("auto", "process", "thread", "serial"):
+            raise ValueError(f"unknown evaluator mode '{mode}'")
+        self.jobs = resolve_jobs(jobs)
+        self.mode = "serial" if self.jobs <= 1 else mode
+        self.timeout = timeout
+
+    # -- public -------------------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
+            timeout_result: Callable[[Any], Any] | None = None) -> list[Any]:
+        """Apply ``fn`` to every item; results in submission order.
+
+        On a per-task timeout, the slot receives ``timeout_result(item)``
+        when provided, otherwise :class:`EvaluationTimeout` is raised.
+        Worker exceptions propagate unchanged.
+        """
+        work = list(items)
+        if self.mode == "serial" or len(work) <= 1:
+            return [fn(item) for item in work]
+        if self.mode in ("auto", "process"):
+            try:
+                return self._pooled(self._process_executor(), fn, work,
+                                    timeout_result)
+            except (OSError, ValueError, TypeError, AttributeError,
+                    ImportError) as exc:
+                if self.mode == "process":
+                    raise
+                # Unpicklable closure / sandboxed platform: degrade to threads.
+                return self._pooled(self._thread_executor(), fn, work,
+                                    timeout_result, note=str(exc))
+        return self._pooled(self._thread_executor(), fn, work, timeout_result)
+
+    # -- internals ----------------------------------------------------------
+
+    def _process_executor(self) -> ProcessPoolExecutor:
+        ctx = _fork_context()
+        if ctx is not None:
+            return ProcessPoolExecutor(max_workers=self.jobs, mp_context=ctx)
+        return ProcessPoolExecutor(max_workers=self.jobs)
+
+    def _thread_executor(self) -> ThreadPoolExecutor:
+        return ThreadPoolExecutor(max_workers=self.jobs)
+
+    def _pooled(self, executor, fn, work: Sequence[Any],
+                timeout_result, note: str = "") -> list[Any]:
+        with executor:
+            futures: list[Future] = [executor.submit(fn, item)
+                                     for item in work]
+            out: list[Any] = []
+            for item, future in zip(work, futures):
+                try:
+                    out.append(future.result(timeout=self.timeout))
+                except FutureTimeout:
+                    future.cancel()
+                    if timeout_result is None:
+                        raise EvaluationTimeout(
+                            f"evaluation exceeded {self.timeout}s") from None
+                    out.append(timeout_result(item))
+            return out
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any],
+                 jobs: int | str | None = None, mode: str = "auto",
+                 timeout: float | None = None,
+                 timeout_result: Callable[[Any], Any] | None = None) -> list:
+    """One-shot convenience wrapper around :class:`ParallelEvaluator`."""
+    return ParallelEvaluator(jobs, mode=mode, timeout=timeout).map(
+        fn, items, timeout_result=timeout_result)

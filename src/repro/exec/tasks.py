@@ -1,0 +1,73 @@
+"""Picklable task functions for the process-pool evaluators.
+
+Process pools require module-level callables; these wrap the repo's pure
+scoring primitives so flows can fan them out.  Imports happen inside the
+functions to keep ``repro.exec`` free of import cycles (``repro.bench``
+imports this package).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def evaluate_candidate_task(payload: tuple) -> Any:
+    """``(problem, candidate_source, max_time) -> TestbenchResult``."""
+    problem, source, max_time = payload
+    from ..bench.harness import evaluate_candidate
+    return evaluate_candidate(problem, source, max_time=max_time)
+
+
+def run_testbench_task(payload: tuple) -> Any:
+    """``(source, top, max_time, seed, tb_source) -> TestbenchResult``."""
+    source, top, max_time, seed, tb_source = payload
+    from ..hdl.testbench import run_testbench
+    return run_testbench(source, top, max_time=max_time, seed=seed,
+                         tb_source=tb_source)
+
+
+def exercise_module_task(payload: tuple) -> Any:
+    """``(source, top, vectors, clk, reset) -> signatures | None``."""
+    source, top, vectors, clk, reset = payload
+    from ..hdl.testbench import exercise_module
+    return exercise_module(source, top, vectors, clk=clk, reset=reset)
+
+
+def timed_out_testbench(_payload: tuple) -> Any:
+    """Timeout placeholder scored as a broken candidate."""
+    from ..hdl.testbench import TestbenchResult
+    return TestbenchResult(compiled=True,
+                           runtime_error="evaluation timed out")
+
+
+def guided_debug_task(payload: tuple) -> Any:
+    """``(problem, model, use_crosscheck, max_iterations, temperature,
+    seed) -> GuidedDebugResult`` — one cell of a guided-debugging sweep."""
+    problem, model, use_crosscheck, max_iterations, temperature, seed = payload
+    from ..flows.crosscheck import guided_debug
+    from ..llm.model import SimulatedLLM
+    llm = model if isinstance(model, SimulatedLLM) \
+        else SimulatedLLM(model, seed=seed)
+    return guided_debug(problem, llm, use_crosscheck=use_crosscheck,
+                        max_iterations=max_iterations,
+                        temperature=temperature, seed=seed)
+
+
+def detect_trojan_task(payload: tuple) -> Any:
+    """``(problem, seed, cosim_vectors) -> dict[str, bool] | None``.
+
+    Runs the full detector hierarchy for one compromised design; ``None``
+    when the trojan insertion pattern does not apply to the problem.
+    """
+    problem, seed, cosim_vectors = payload
+    from ..flows.security import (detect_with_cec, detect_with_random_cosim,
+                                  detect_with_testbench, insert_trojan)
+    design = insert_trojan(problem, seed=seed)
+    if design is None:
+        return None
+    return {
+        "testbench": detect_with_testbench(problem, design).detected,
+        "random_cosim": detect_with_random_cosim(
+            problem, design, vectors=cosim_vectors, seed=seed).detected,
+        "exhaustive_cec": detect_with_cec(problem, design).detected,
+    }

@@ -16,9 +16,10 @@
 
 from .assertgen import (Assertion, AssertionReport, assertion_quality,
                         generate_assertions, refine_assertions)
-from .crosscheck import (CrossCheckReport, GuidedDebugResult, HighLevelModel,
-                         crosscheck, generate_highlevel_model, guided_debug,
-                         supports_crosscheck)
+from .crosscheck import (CrossCheckReport, GuidedDebugResult,
+                         GuidedDebugSweep, HighLevelModel, crosscheck,
+                         generate_highlevel_model, guided_debug,
+                         guided_debug_sweep, supports_crosscheck)
 from .security import (CompromisedDesign, DetectionReport, TrojanSpec,
                        detect_with_cec, detect_with_random_cosim,
                        detect_with_testbench, detection_sweep, insert_trojan)
@@ -37,10 +38,11 @@ from .vrank import Cluster, VRankResult, VRankSweep, vrank, vrank_sweep
 __all__ = [
     "Assertion", "AssertionReport", "AutoChip", "AutoChipConfig",
     "CompromisedDesign", "CrossCheckReport", "DetectionReport",
-    "GuidedDebugResult", "HighLevelModel", "TrojanSpec", "crosscheck",
+    "GuidedDebugResult", "GuidedDebugSweep", "HighLevelModel", "TrojanSpec",
+    "crosscheck",
     "detect_with_cec", "detect_with_random_cosim", "detect_with_testbench",
     "detection_sweep", "generate_highlevel_model", "guided_debug",
-    "insert_trojan", "supports_crosscheck",
+    "guided_debug_sweep", "insert_trojan", "supports_crosscheck",
     "AutoChipResult", "BudgetComparison", "ChipChatResult",
     "ChipChatSession", "Cluster", "GeneratedTestbench",
     "HierarchicalResult", "HierarchicalSweep", "StructuredFeedbackFlow",

@@ -255,3 +255,34 @@ def guided_debug(problem: Problem, llm: SimulatedLLM,
                              final.passed, iterations,
                              hl_model.faithful if hl_model else True,
                              use_crosscheck)
+
+
+@dataclass
+class GuidedDebugSweep:
+    results: list[GuidedDebugResult] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.success for r in self.results) / len(self.results)
+
+
+def guided_debug_sweep(problems: list[Problem], model: str = "gpt-4",
+                       seeds: tuple[int, ...] = (0, 1, 2),
+                       use_crosscheck: bool = True,
+                       max_iterations: int = 4, temperature: float = 0.9,
+                       jobs: int | str | None = None) -> GuidedDebugSweep:
+    """Run :func:`guided_debug` over a problem/seed grid.
+
+    Each cell is an independent generate-and-repair loop, so the sweep fans
+    out over ``jobs`` workers (``REPRO_JOBS`` when unset); results keep the
+    (seed-major) serial ordering.
+    """
+    from ..exec import ParallelEvaluator, guided_debug_task
+    payloads = [(problem, model, use_crosscheck, max_iterations,
+                 temperature, seed)
+                for seed in seeds for problem in problems
+                if supports_crosscheck(problem) or not use_crosscheck]
+    results = ParallelEvaluator(jobs).map(guided_debug_task, payloads)
+    return GuidedDebugSweep(results)

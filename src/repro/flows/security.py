@@ -158,25 +158,29 @@ def detect_with_cec(problem: Problem,
 
 
 def detection_sweep(problems: list[Problem], seeds=(0, 1, 2),
-                    cosim_vectors: int = 64) -> dict[str, float]:
-    """Catch rate per detector across compromised designs."""
+                    cosim_vectors: int = 64,
+                    jobs: int | str | None = None) -> dict[str, float]:
+    """Catch rate per detector across compromised designs.
+
+    Every (seed, problem) cell runs the full detector hierarchy
+    independently, so the sweep fans out over ``jobs`` workers
+    (``REPRO_JOBS`` when unset); aggregation order is fixed, so the result
+    is identical to the serial sweep.
+    """
+    from ..exec import ParallelEvaluator, detect_trojan_task
+    payloads = [(problem, seed, cosim_vectors)
+                for seed in seeds for problem in problems]
+    cells = ParallelEvaluator(jobs).map(detect_trojan_task, payloads)
     caught: dict[str, int] = {"testbench": 0, "random_cosim": 0,
                               "exhaustive_cec": 0}
     total = 0
-    for seed in seeds:
-        for problem in problems:
-            design = insert_trojan(problem, seed=seed)
-            if design is None:
-                continue
-            total += 1
-            if detect_with_testbench(problem, design).detected:
-                caught["testbench"] += 1
-            if detect_with_random_cosim(problem, design,
-                                        vectors=cosim_vectors,
-                                        seed=seed).detected:
-                caught["random_cosim"] += 1
-            if detect_with_cec(problem, design).detected:
-                caught["exhaustive_cec"] += 1
+    for cell in cells:
+        if cell is None:
+            continue
+        total += 1
+        for detector, detected in cell.items():
+            if detected:
+                caught[detector] += 1
     if total == 0:
         return {k: 0.0 for k in caught}
     return {k: v / total for k, v in caught.items()}

@@ -15,9 +15,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from ..bench.harness import evaluate_candidate, make_task
+from ..bench.harness import make_task
 from ..bench.problems import Problem
-from ..hdl.testbench import exercise_module
+from ..exec import (ParallelEvaluator, evaluate_candidate_task,
+                    exercise_module_task)
 from ..llm.model import Generation, SimulatedLLM
 from ..llm.prompts import Prompt
 
@@ -60,8 +61,14 @@ def _make_vectors(problem: Problem, n: int, rng: random.Random,
 
 def vrank(problem: Problem, model: str | SimulatedLLM = "gpt-4",
           n_candidates: int = 8, n_vectors: int = 12,
-          temperature: float = 0.9, seed: int = 0) -> VRankResult:
-    """Run the full VRank flow on one problem."""
+          temperature: float = 0.9, seed: int = 0,
+          jobs: int | str | None = None) -> VRankResult:
+    """Run the full VRank flow on one problem.
+
+    Candidate simulations are independent, so both the signature pass and
+    the oracle pass@1 scoring fan out over ``jobs`` workers (``REPRO_JOBS``
+    when unset) with deterministic, submission-ordered results.
+    """
     llm = model if isinstance(model, SimulatedLLM) else SimulatedLLM(model,
                                                                      seed=seed)
     task = make_task(problem)
@@ -91,11 +98,11 @@ def vrank(problem: Problem, model: str | SimulatedLLM = "gpt-4",
 
     result = VRankResult(problem.problem_id, llm.profile.name,
                          n_candidates, 0)
+    evaluator = ParallelEvaluator(jobs)
+    sig_payloads = [(g.text, problem.module_name, vectors, clk_name, "rst")
+                    for g in generations]
     signatures: list[str | None] = []
-    for generation in generations:
-        sig_rows = exercise_module(generation.text, problem.module_name,
-                                   vectors, clk=clk_name,
-                                   reset="rst")
+    for sig_rows in evaluator.map(exercise_module_task, sig_payloads):
         if sig_rows is None:
             signatures.append(None)
             continue
@@ -111,7 +118,9 @@ def vrank(problem: Problem, model: str | SimulatedLLM = "gpt-4",
 
     if result.clusters:
         result.selected_index = result.clusters[0].members[0]
-    passes = [evaluate_candidate(problem, g.text).passed for g in generations]
+    passes = [r.passed for r in evaluator.map(
+        evaluate_candidate_task,
+        [(problem, g.text, 200_000) for g in generations])]
     result.any_passed = any(passes)
     result.first_passed = passes[0] if passes else False
     if result.selected_index >= 0:
@@ -144,10 +153,12 @@ class VRankSweep:
 
 def vrank_sweep(problems: list[Problem], model: str = "gpt-4",
                 n_candidates: int = 8, seeds: tuple[int, ...] = (0, 1, 2),
-                temperature: float = 0.9) -> VRankSweep:
+                temperature: float = 0.9,
+                jobs: int | str | None = None) -> VRankSweep:
     sweep = VRankSweep()
     for seed in seeds:
         for problem in problems:
             sweep.results.append(vrank(problem, model, n_candidates,
-                                       temperature=temperature, seed=seed))
+                                       temperature=temperature, seed=seed,
+                                       jobs=jobs))
     return sweep

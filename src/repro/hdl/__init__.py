@@ -6,6 +6,9 @@ port-level stimulus, and lint diagnostics.
 """
 
 from .ast import Module, SourceFile
+from .compile import (CacheStats, CompileCache, CompiledDesign,
+                      CompiledSource, compile_design, get_default_cache,
+                      set_default_cache, source_key)
 from .errors import (ElaborationError, HdlError, LexError, LintWarning,
                      ParseError, SimulationError)
 from .elaborate import Design, elaborate
@@ -18,9 +21,11 @@ from .testbench import (StimulusRunner, TestbenchResult, exercise_module,
 from .values import Logic, concat_all
 
 __all__ = [
+    "CacheStats", "CompileCache", "CompiledDesign", "CompiledSource",
     "Design", "ElaborationError", "HdlError", "LexError", "LintWarning",
     "Logic", "Module", "ParseError", "SimulationError", "Simulator",
-    "SourceFile", "StimulusRunner", "TestbenchResult", "concat_all",
-    "elaborate", "exercise_module", "lint_module", "lint_source", "parse",
-    "parse_module", "run_testbench", "tokenize",
+    "SourceFile", "StimulusRunner", "TestbenchResult", "compile_design",
+    "concat_all", "elaborate", "exercise_module", "get_default_cache",
+    "lint_module", "lint_source", "parse", "parse_module", "run_testbench",
+    "set_default_cache", "source_key", "tokenize",
 ]

@@ -1,0 +1,279 @@
+"""Content-addressed compile front-end: ``parse -> elaborate`` with caching.
+
+Every flow in the repo bottoms out in "compile this candidate against that
+testbench and simulate" — and profiling shows the front-end (lexing and
+parsing, ~3ms of an ~11ms :func:`repro.hdl.run_testbench` call) is repeated
+for the *same* sources thousands of times per suite: the testbench is fixed
+per problem, and a seeded :class:`~repro.llm.model.SimulatedLLM` at low
+temperature emits duplicate candidates.  This module splits compilation into
+explicit, separately-cacheable stages:
+
+* :meth:`CompileCache.parse` — source text -> :class:`~repro.hdl.ast.SourceFile`,
+  keyed by content hash,
+* :meth:`CompileCache.compile` — one *or several* compilation units linked
+  (module-dict merge, later units win, mirroring concatenated parsing) and
+  elaborated into a :class:`~repro.hdl.elaborate.Design`, keyed by the tuple
+  of unit hashes plus the top module, and
+* a result memo used by :func:`repro.hdl.run_testbench` — a testbench run is
+  a pure function of ``(sources, top, max_time, seed)``, so repeated
+  identical runs are served from cache.
+
+Poison safety: cache entries are stored as pickled blobs and every lookup —
+hit *or* cold — materializes fresh objects from the blob, so mutating a
+returned ``CompiledDesign`` (or the AST reachable from it) cannot corrupt
+later hits.  ``pickle.loads`` of a design is ~12x cheaper than re-parsing.
+
+All caches are bounded LRUs with hit/miss/eviction counters; capacities can
+be tuned with ``REPRO_COMPILE_CACHE`` (designs/parses) and
+``REPRO_RESULT_CACHE`` (testbench results), and the whole layer disabled
+with ``REPRO_HDL_CACHE=0``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Sequence
+
+from . import ast as A
+from .elaborate import Design, elaborate
+from .parser import parse
+
+
+def source_key(source: str) -> str:
+    """Stable content hash used as the cache key for one compilation unit."""
+    return hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache layer."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+
+class _LruBlobCache:
+    """Bounded LRU of pickled blobs (thread-safe; shared by thread pools)."""
+
+    def __init__(self, capacity: int):
+        self.capacity = max(1, int(capacity))
+        self._data: OrderedDict[object, bytes] = OrderedDict()
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: object) -> bytes | None:
+        with self._lock:
+            blob = self._data.get(key)
+            if blob is None:
+                self.stats.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.stats.hits += 1
+            return blob
+
+    def put(self, key: object, blob: bytes) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = blob
+                return
+            self._data[key] = blob
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+@dataclass(frozen=True)
+class CompiledSource:
+    """One parsed compilation unit.  ``source_file`` is caller-owned."""
+
+    key: str
+    source_file: A.SourceFile
+
+
+@dataclass
+class CompiledDesign:
+    """An elaborated design plus its cache identity.
+
+    ``design`` is a fresh materialization — callers may mutate it freely
+    without affecting later cache hits.
+    """
+
+    key: tuple
+    top: str
+    design: Design
+    from_cache: bool = False
+    units: tuple[str, ...] = ()
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_HDL_CACHE", "1") != "0"
+
+
+class CompileCache:
+    """Three-layer compile cache: parse, link+elaborate, testbench results."""
+
+    def __init__(self, parse_capacity: int | None = None,
+                 design_capacity: int | None = None,
+                 result_capacity: int | None = None):
+        cap = _env_int("REPRO_COMPILE_CACHE", 256)
+        self._parses = _LruBlobCache(parse_capacity or cap)
+        self._designs = _LruBlobCache(design_capacity or cap)
+        self._results = _LruBlobCache(
+            result_capacity or _env_int("REPRO_RESULT_CACHE", 1024))
+        # Live ASTs for internal linking only (never handed to callers):
+        # avoids an unpickle on the design-miss path.  Bounded alongside
+        # the parse LRU by periodic pruning.
+        self._live: dict[str, A.SourceFile] = {}
+        self._lock = threading.Lock()
+
+    # -- parse layer --------------------------------------------------------
+
+    def _parse_shared(self, source: str) -> tuple[str, A.SourceFile]:
+        """Parse with caching; the returned AST is shared and must not be
+        mutated (internal use only)."""
+        key = source_key(source)
+        with self._lock:
+            live = self._live.get(key)
+        if live is not None:
+            self._parses.stats.hits += 1
+            return key, live
+        blob = self._parses.get(key)
+        if blob is not None:
+            sf = pickle.loads(blob)
+        else:
+            sf = parse(source)
+            self._parses.put(key, pickle.dumps(sf, pickle.HIGHEST_PROTOCOL))
+        with self._lock:
+            if len(self._live) >= self._parses.capacity:
+                self._live.clear()
+            self._live[key] = sf
+        return key, sf
+
+    def parse(self, source: str) -> CompiledSource:
+        """Parse one unit; the returned AST is a private copy."""
+        key, _ = self._parse_shared(source)
+        blob = self._parses.get(key)
+        assert blob is not None
+        return CompiledSource(key, pickle.loads(blob))
+
+    # -- link + elaborate layer --------------------------------------------
+
+    def compile(self, sources: str | Sequence[str], top: str) -> CompiledDesign:
+        """Compile one or more units and elaborate ``top``.
+
+        Multiple units are linked by merging their module tables in order
+        (later definitions win), which is exactly what parsing the
+        concatenated text would produce — so a DUT and a testbench can be
+        compiled separately and cached independently.
+        """
+        unit_list = [sources] if isinstance(sources, str) else list(sources)
+        keys = tuple(source_key(s) for s in unit_list)
+        dkey = (keys, top)
+        blob = self._designs.get(dkey)
+        if blob is not None:
+            return CompiledDesign(dkey, top, pickle.loads(blob),
+                                  from_cache=True, units=keys)
+        merged = A.SourceFile()
+        for unit in unit_list:
+            _, sf = self._parse_shared(unit)
+            merged.modules.update(sf.modules)
+        design = elaborate(merged, top)
+        blob = pickle.dumps(design, pickle.HIGHEST_PROTOCOL)
+        self._designs.put(dkey, blob)
+        # Materialize from the blob even on the cold path: the freshly
+        # elaborated design references the shared parse-cache AST, and the
+        # caller is allowed to mutate what we hand out.
+        return CompiledDesign(dkey, top, pickle.loads(blob),
+                              from_cache=False, units=keys)
+
+    # -- result memo --------------------------------------------------------
+
+    def get_result(self, key: tuple) -> object | None:
+        blob = self._results.get(key)
+        return pickle.loads(blob) if blob is not None else None
+
+    def put_result(self, key: tuple, result: object) -> None:
+        self._results.put(key, pickle.dumps(result, pickle.HIGHEST_PROTOCOL))
+
+    # -- management ---------------------------------------------------------
+
+    def stats(self) -> dict[str, CacheStats]:
+        return {"parse": self._parses.stats, "design": self._designs.stats,
+                "result": self._results.stats}
+
+    def stats_dict(self) -> dict[str, dict[str, float]]:
+        layers = {"parse": self._parses, "design": self._designs,
+                  "result": self._results}
+        return {name: {**lru.stats.as_dict(), "size": len(lru)}
+                for name, lru in layers.items()}
+
+    def clear(self) -> None:
+        self._parses.clear()
+        self._designs.clear()
+        self._results.clear()
+        with self._lock:
+            self._live.clear()
+
+
+_default_cache = CompileCache()
+
+
+def get_default_cache() -> CompileCache:
+    return _default_cache
+
+
+def set_default_cache(cache: CompileCache) -> CompileCache:
+    global _default_cache
+    _default_cache = cache
+    return cache
+
+
+def compile_design(sources: str | Sequence[str], top: str,
+                   cache: CompileCache | None = None) -> CompiledDesign:
+    """Compile (and link) ``sources``; elaborate ``top``.  Cached by content.
+
+    With ``REPRO_HDL_CACHE=0`` this degrades to a plain parse+elaborate.
+    """
+    if not cache_enabled():
+        unit_list = [sources] if isinstance(sources, str) else list(sources)
+        merged = A.SourceFile()
+        for unit in unit_list:
+            merged.modules.update(parse(unit).modules)
+        design = elaborate(merged, top)
+        return CompiledDesign((tuple(source_key(s) for s in unit_list), top),
+                              top, design)
+    return (cache or _default_cache).compile(sources, top)

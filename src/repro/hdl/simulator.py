@@ -167,14 +167,18 @@ class Simulator:
                 "&&": a.logical_and, "||": a.logical_or,
             }[expr.op](b)
         if isinstance(expr, A.Ternary):
+            # Verilog sizes a ternary by the wider of its two branches, so
+            # both widths matter even when the condition is known (the
+            # synthesizer bit-blasts with the same rule).
             cond = self.eval(expr.cond, frame)
-            if cond.is_true():
-                return self.eval(expr.if_true, frame)
-            if cond.is_false():
-                return self.eval(expr.if_false, frame)
             t = self.eval(expr.if_true, frame)
             f = self.eval(expr.if_false, frame)
-            return Logic.unknown(max(t.width, f.width))
+            width = max(t.width, f.width)
+            if cond.is_true():
+                return t.resize(width)
+            if cond.is_false():
+                return f.resize(width)
+            return Logic.unknown(width)
         if isinstance(expr, A.Concat):
             return concat_all([self.eval(p, frame) for p in expr.parts])
         if isinstance(expr, A.Replicate):

@@ -12,11 +12,12 @@ Two ways to exercise a design:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
-from .elaborate import elaborate
+from .compile import (CompileCache, CompiledDesign, cache_enabled,
+                      compile_design, get_default_cache, source_key)
+from .elaborate import Design
 from .errors import HdlError
-from .parser import parse
 from .simulator import Simulator
 from .values import Logic
 
@@ -70,14 +71,12 @@ class TestbenchResult:
         return "\n".join([header] + lines[:max_lines])
 
 
-def run_testbench(source: str, top: str, max_time: int = 200_000,
-                  seed: int = 1) -> TestbenchResult:
-    """Compile ``source`` (DUT and testbench together) and run module ``top``."""
-    try:
-        sf = parse(source)
-        design = elaborate(sf, top)
-    except HdlError as exc:
-        return TestbenchResult(compiled=False, compile_error=str(exc))
+def _copy_result(result: TestbenchResult) -> TestbenchResult:
+    """Detached copy so cached results can't be poisoned by the caller."""
+    return replace(result, output=list(result.output))
+
+
+def _simulate(design: Design, max_time: int, seed: int) -> TestbenchResult:
     sim = Simulator(design, seed=seed)
     result = TestbenchResult(compiled=True)
     try:
@@ -98,12 +97,55 @@ def run_testbench(source: str, top: str, max_time: int = 200_000,
     return result
 
 
+def run_testbench(source: str, top: str, max_time: int = 200_000,
+                  seed: int = 1, tb_source: str | None = None,
+                  cache: CompileCache | None = None) -> TestbenchResult:
+    """Compile and run testbench module ``top``.
+
+    ``source`` holds the DUT (plus testbench, in the legacy single-blob
+    form); passing the testbench separately via ``tb_source`` lets the
+    compile cache reuse the testbench parse across every candidate of a
+    problem.  A run is a pure function of ``(sources, top, max_time, seed)``,
+    so identical invocations are served from the result memo.
+    """
+    units = (source,) if tb_source is None else (source, tb_source)
+    use_cache = cache_enabled()
+    cache = cache or get_default_cache()
+    if use_cache:
+        rkey = ("tb", tuple(source_key(u) for u in units), top, max_time, seed)
+        hit = cache.get_result(rkey)
+        if hit is not None:
+            return _copy_result(hit)
+    try:
+        compiled = compile_design(units, top, cache=cache)
+    except HdlError as exc:
+        if tb_source is None:
+            result = TestbenchResult(compiled=False, compile_error=str(exc))
+        else:
+            # Report the error the concatenated compile would have produced
+            # (feedback text feeds seeded repair loops, so it must not drift
+            # with the compilation strategy).  A malformed DUT can even
+            # splice into the testbench text and "compile" — honour that.
+            result = run_testbench("\n".join(units), top, max_time=max_time,
+                                   seed=seed, cache=cache)
+        if use_cache:
+            cache.put_result(rkey, result)
+        return _copy_result(result)
+    result = _simulate(compiled.design, max_time, seed)
+    if use_cache:
+        cache.put_result(rkey, result)
+    return _copy_result(result)
+
+
 class StimulusRunner:
     """Drives a single module's ports directly, without a Verilog testbench."""
 
-    def __init__(self, source: str, top: str, seed: int = 1):
-        sf = parse(source)
-        self.design = elaborate(sf, top)
+    def __init__(self, source: str | CompiledDesign, top: str, seed: int = 1,
+                 cache: CompileCache | None = None):
+        if isinstance(source, CompiledDesign):
+            self.design = source.design
+        else:
+            self.design = compile_design(source, top, cache=cache).design
         self.top = top
         self.sim = Simulator(self.design, seed=seed)
         self._ports = {name: sig for name, sig in self.design.signals.items()
@@ -180,9 +222,11 @@ class StimulusRunner:
         return {name: self.peek(name) for name in self.outputs}
 
 
-def exercise_module(source: str, top: str, vectors: list[dict[str, int]],
+def exercise_module(source: str | CompiledDesign, top: str,
+                    vectors: list[dict[str, int]],
                     clk: str | None = None,
-                    reset: str | None = None) -> list[dict[str, str]] | None:
+                    reset: str | None = None,
+                    cache: CompileCache | None = None) -> list[dict[str, str]] | None:
     """Run input vectors through a module; returns output signatures.
 
     Returns ``None`` when the design fails to compile or simulate — callers
@@ -191,7 +235,7 @@ def exercise_module(source: str, top: str, vectors: list[dict[str, int]],
     clustering in VRank).
     """
     try:
-        runner = StimulusRunner(source, top)
+        runner = StimulusRunner(source, top, cache=cache)
         if reset is not None and reset in runner.inputs:
             runner.poke(reset, 1)
             if clk is not None:

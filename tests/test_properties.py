@@ -11,6 +11,7 @@ no code must agree on randomly generated programs/designs.
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hdl import parse_module
@@ -99,6 +100,7 @@ def test_optimization_preserves_random_logic(seed):
 # --------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 @given(st.integers(min_value=0, max_value=10_000))
 @settings(max_examples=20, deadline=None)
 def test_interpreter_and_core_agree_on_random_programs(seed):

@@ -210,6 +210,7 @@ class TestGeneratorAndLoop:
                 anchored += 1
         assert anchored > 15
 
+    @pytest.mark.slow
     def test_short_llm_run_improves_over_seeds(self):
         meter = FpgaPowerMeter(seed=11)
         optimizer = SltOptimizer(SimulatedLLM("codellama-34b-instruct-ft",
@@ -223,16 +224,19 @@ class TestGeneratorAndLoop:
             for g in HANDWRITTEN_SEEDS)
         assert result.best_power_w >= seed_best * 0.98
 
+    @pytest.mark.slow
     def test_events_record_monotone_best(self):
         result = run_llm_slt(hours=0.3, seed=3)
         bests = [e.best_w for e in result.events]
         assert all(b2 >= b1 for b1, b2 in zip(bests, bests[1:]))
 
+    @pytest.mark.slow
     def test_gp_runs_and_improves(self):
         result = run_gp_slt(hours=0.4, seed=3)
         assert result.snippets_generated > 10
         assert result.best_power_w > 4.0
 
+    @pytest.mark.slow
     def test_gp_realistic_only_constrains(self):
         result = run_gp_slt(hours=0.3, seed=5, realistic_only=True)
         assert result.best_power_w > 0
