@@ -20,11 +20,14 @@ import time
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from _util import full_eval, print_table  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.bench import all_problems, evaluate_model  # noqa: E402
 from repro.hdl import CompileCache, compile_design, run_testbench  # noqa: E402
+from repro.obs import report as obs_report  # noqa: E402
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 _OUT_PATH = os.path.join(_REPO_ROOT, "BENCH_perf.json")
+_TELEMETRY_PATH = os.path.join(_REPO_ROOT, "BENCH_telemetry.json")
 
 
 def _rate(count: int, elapsed: float) -> float:
@@ -103,14 +106,32 @@ def bench_evaluate_model(k: int) -> dict:
 
 def main() -> dict:
     iters = 200 if full_eval() else 40
-    data = {
-        "cpus": os.cpu_count(),
-        "compile": bench_compile(iters),
-        "run_testbench": bench_run_testbench(iters),
-        "evaluate_model": bench_evaluate_model(4 if full_eval() else 2),
-    }
+    # Trace the whole benchmark into memory (regardless of REPRO_TRACE) so
+    # future perf PRs can regress against real span timings, not just the
+    # aggregate numbers; the snapshot lands in BENCH_telemetry.json.
+    sink = obs.InMemorySink()
+    previous_tracer = obs.get_tracer()
+    obs.install_tracer(obs.Tracer(sink, enabled=True))
+    obs.reset_metrics()
+    try:
+        data = {
+            "cpus": os.cpu_count(),
+            "compile": bench_compile(iters),
+            "run_testbench": bench_run_testbench(iters),
+            "evaluate_model": bench_evaluate_model(4 if full_eval() else 2),
+        }
+        metrics_record = obs.flush_metrics()
+    finally:
+        obs.install_tracer(previous_tracer)
     with open(_OUT_PATH, "w", encoding="utf-8") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    telemetry = {
+        "spans": obs_report.aggregate_spans(sink.records),
+        "metrics": metrics_record,
+    }
+    with open(_TELEMETRY_PATH, "w", encoding="utf-8") as fh:
+        json.dump(telemetry, fh, indent=2, sort_keys=True)
         fh.write("\n")
     rows = [
         ["compile", data["compile"]["cold_per_sec"],

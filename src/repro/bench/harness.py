@@ -14,6 +14,7 @@ from ..hdl import run_testbench
 from ..hdl.testbench import TestbenchResult
 from ..llm.model import Generation, GenerationTask, SimulatedLLM
 from ..llm.prompts import Prompt, PromptStrategy
+from ..obs import get_tracer
 from .problems import Problem
 
 
@@ -118,22 +119,28 @@ def evaluate_model(model: str | SimulatedLLM, problems: list[Problem],
     llm = model if isinstance(model, SimulatedLLM) else SimulatedLLM(model,
                                                                      seed=seed)
     suite = SuiteEval(model=llm.profile.name, strategy=strategy)
-    generations: list[list[Generation]] = []
-    for problem in problems:
-        task = make_task(problem)
-        prompt = Prompt(spec=problem.spec, strategy=strategy)
-        generations.append([llm.generate(task, prompt, temperature,
-                                         sample_index=i) for i in range(k)])
-    evaluator = ParallelEvaluator(jobs, mode=mode, timeout=timeout)
-    payloads = [(problem, gen.text, 200_000)
-                for problem, gens in zip(problems, generations)
-                for gen in gens]
-    results = evaluator.map(evaluate_candidate_task, payloads)
-    cursor = 0
-    for problem, gens in zip(problems, generations):
-        pe = ProblemEval(problem.problem_id)
-        for gen in gens:
-            pe.samples.append(SampleOutcome(gen, results[cursor]))
-            cursor += 1
-        suite.problems.append(pe)
+    tracer = get_tracer()
+    with tracer.span("bench.evaluate_model", model=llm.profile.name, k=k,
+                     problems=len(problems)) as sp:
+        generations: list[list[Generation]] = []
+        with tracer.span("bench.generate"):
+            for problem in problems:
+                task = make_task(problem)
+                prompt = Prompt(spec=problem.spec, strategy=strategy)
+                generations.append([llm.generate(task, prompt, temperature,
+                                                 sample_index=i)
+                                    for i in range(k)])
+        evaluator = ParallelEvaluator(jobs, mode=mode, timeout=timeout)
+        payloads = [(problem, gen.text, 200_000)
+                    for problem, gens in zip(problems, generations)
+                    for gen in gens]
+        results = evaluator.map(evaluate_candidate_task, payloads)
+        cursor = 0
+        for problem, gens in zip(problems, generations):
+            pe = ProblemEval(problem.problem_id)
+            for gen in gens:
+                pe.samples.append(SampleOutcome(gen, results[cursor]))
+                cursor += 1
+            suite.problems.append(pe)
+        sp.set(pass_at_1=round(suite.pass_at_k(1), 4))
     return suite

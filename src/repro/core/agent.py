@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..bench.problems import Problem
 from ..llm.model import SimulatedLLM
+from ..obs import flush_metrics, get_tracer
 from .stages import DEFAULT_PIPELINE, Stage, StageContext
 from .state import DesignState
 
@@ -64,30 +65,42 @@ class EdaAgent:
         state = DesignState(spec=problem.spec)
         reopens = 0
 
-        index = 0
-        while index < len(self.pipeline):
-            stage = self.pipeline[index]
-            ok = stage.run(state, ctx)
-            if ok:
-                index += 1
-                continue
-            # Cross-stage feedback: a verification or static-analysis failure
-            # re-opens RTL generation with a fresh seed (the accumulated
-            # design state keeps the evidence).
-            if (cfg.enable_feedback and reopens < cfg.max_reopens
-                    and stage.name in ("static_analysis", "verification")):
-                reopens += 1
-                ctx.seed += 1000
-                ctx.llm = SimulatedLLM(cfg.model, seed=ctx.seed)
-                index = next(i for i, s in enumerate(self.pipeline)
-                             if s.name == "rtl_generation")
-                continue
-            # Hard failure: record remaining stages as skipped and stop.
-            break
+        tracer = get_tracer()
+        with tracer.span("agent.run", problem=problem.problem_id,
+                         model=cfg.model, seed=self.seed,
+                         feedback=cfg.enable_feedback) as run_span:
+            index = 0
+            attempts: dict[str, int] = {}
+            while index < len(self.pipeline):
+                stage = self.pipeline[index]
+                attempts[stage.name] = attempts.get(stage.name, 0) + 1
+                with tracer.span(f"stage.{stage.name}",
+                                 attempt=attempts[stage.name]) as sp:
+                    ok = stage.run(state, ctx)
+                    sp.set(success=ok)
+                if ok:
+                    index += 1
+                    continue
+                # Cross-stage feedback: a verification or static-analysis
+                # failure re-opens RTL generation with a fresh seed (the
+                # accumulated design state keeps the evidence).
+                if (cfg.enable_feedback and reopens < cfg.max_reopens
+                        and stage.name in ("static_analysis", "verification")):
+                    reopens += 1
+                    ctx.seed += 1000
+                    ctx.llm = SimulatedLLM(cfg.model, seed=ctx.seed)
+                    index = next(i for i, s in enumerate(self.pipeline)
+                                 if s.name == "rtl_generation")
+                    continue
+                # Hard failure: record remaining stages as skipped and stop.
+                break
 
-        success = (index >= len(self.pipeline)
-                   and all(r.stage != "verification" or r.success
-                           for r in state.history[-len(self.pipeline):]))
+            success = (index >= len(self.pipeline)
+                       and all(r.stage != "verification" or r.success
+                               for r in state.history[-len(self.pipeline):]))
+            run_span.set(success=success and state.verified, reopens=reopens,
+                         tokens=llm.usage.total_tokens)
+        flush_metrics(tracer)
         return AgentRunReport(problem.problem_id, cfg.model, state,
                               success and state.verified, reopens,
                               llm.usage.total_tokens)

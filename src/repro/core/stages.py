@@ -17,6 +17,7 @@ from ..flows.assertgen import assertion_quality
 from ..flows.autochip import AutoChip, AutoChipConfig
 from ..hdl import lint_source, parse
 from ..llm.model import SimulatedLLM
+from ..obs import get_tracer
 from ..synth import estimate_ppa, optimize, synthesize_module
 from ..synth.optimize import DEFAULT_SCRIPT
 from .state import DesignState
@@ -112,9 +113,14 @@ class VerificationStage(Stage):
     name = "verification"
 
     def run(self, state: DesignState, ctx: StageContext) -> bool:
-        tb = evaluate_candidate(ctx.problem, state.rtl_source)
-        assertions = assertion_quality(ctx.problem, ctx.llm, seed=ctx.seed,
-                                       n_assertions=6, n_mutants=3)
+        tracer = get_tracer()
+        with tracer.span("verification.testbench") as sp:
+            tb = evaluate_candidate(ctx.problem, state.rtl_source)
+            sp.set(passed=tb.passed, checks=tb.total_checks)
+        with tracer.span("verification.assertions") as sp:
+            assertions = assertion_quality(ctx.problem, ctx.llm, seed=ctx.seed,
+                                           n_assertions=6, n_mutants=3)
+            sp.set(refined=assertions.refined)
         state.verified = tb.passed
         state.assertions_valid = assertions.refined
         state.verification_detail = (f"testbench {tb.pass_count}/"
@@ -132,12 +138,14 @@ class SynthesisStage(Stage):
     def run(self, state: DesignState, ctx: StageContext) -> bool:
         from ..synth import synthesize_source
         try:
-            synthesized = synthesize_source(state.rtl_source,
-                                            state.module_name)
+            with get_tracer().span("synthesis.elaborate"):
+                synthesized = synthesize_source(state.rtl_source,
+                                                state.module_name)
         except Exception as exc:
             state.record(self.name, False, f"synthesis failed: {exc}")
             return False
-        optimized = optimize(synthesized.aig, DEFAULT_SCRIPT)
+        with get_tracer().span("synthesis.optimize"):
+            optimized = optimize(synthesized.aig, DEFAULT_SCRIPT)
         synthesized.aig = optimized.aig
         state.netlist = synthesized
         state.aig_stats = optimized.aig.stats()
@@ -169,10 +177,12 @@ class QorStage(Stage):
             from ..synth import synthesize_source
             for script in self.SCRIPTS:
                 try:
-                    candidate = synthesize_source(state.rtl_source,
-                                                  state.module_name)
-                    candidate.aig = optimize(candidate.aig, script).aig
-                    report = estimate_ppa(candidate)
+                    with get_tracer().span("qor.script",
+                                           script="+".join(script)):
+                        candidate = synthesize_source(state.rtl_source,
+                                                      state.module_name)
+                        candidate.aig = optimize(candidate.aig, script).aig
+                        report = estimate_ppa(candidate)
                 except Exception:
                     continue
                 if report.area_um2 * report.delay_ns \

@@ -24,21 +24,49 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+import warnings
 from concurrent.futures import (Future, ProcessPoolExecutor,
                                 ThreadPoolExecutor, TimeoutError as
                                 FutureTimeout)
 from typing import Any, Callable, Iterable, Sequence
 
+from ..obs import get_metrics, get_tracer
+
 JOBS_ENV = "REPRO_JOBS"
+
+# Grace period for terminated workers to exit before they are SIGKILLed.
+_REAP_GRACE_S = 5.0
+
+_warned_bad_jobs: set[tuple[str, str]] = set()
+
+
+def _warn_bad_jobs(value: str, source: str) -> None:
+    """One-time warning per bad value so misconfigured sweeps don't
+    silently run 1-wide."""
+    key = (source, value)
+    if key in _warned_bad_jobs:
+        return
+    _warned_bad_jobs.add(key)
+    warnings.warn(
+        f"{source} value {value!r} is not an integer or 'auto'; "
+        f"falling back to serial evaluation (jobs=1)",
+        RuntimeWarning, stacklevel=3)
 
 
 def resolve_jobs(jobs: int | str | None = None) -> int:
-    """Resolve a worker count from the argument or the environment."""
+    """Resolve a worker count from the argument or the environment.
+
+    An unparseable value degrades to serial (1) but emits a one-time
+    ``RuntimeWarning`` naming the bad value and where it came from.
+    """
+    source = "jobs argument"
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
         if not env:
             return 1
         jobs = env
+        source = f"{JOBS_ENV} environment variable"
     if isinstance(jobs, str):
         if jobs.lower() == "auto":
             jobs = -1
@@ -46,6 +74,7 @@ def resolve_jobs(jobs: int | str | None = None) -> int:
             try:
                 jobs = int(jobs)
             except ValueError:
+                _warn_bad_jobs(jobs, source)
                 return 1
     if jobs < 0:
         return max(1, os.cpu_count() or 1)
@@ -91,20 +120,27 @@ class ParallelEvaluator:
         Worker exceptions propagate unchanged.
         """
         work = list(items)
-        if self.mode == "serial" or len(work) <= 1:
-            return [fn(item) for item in work]
-        if self.mode in ("auto", "process"):
-            try:
-                return self._pooled(self._process_executor(), fn, work,
-                                    timeout_result)
-            except (OSError, ValueError, TypeError, AttributeError,
-                    ImportError) as exc:
-                if self.mode == "process":
-                    raise
-                # Unpicklable closure / sandboxed platform: degrade to threads.
-                return self._pooled(self._thread_executor(), fn, work,
-                                    timeout_result, note=str(exc))
-        return self._pooled(self._thread_executor(), fn, work, timeout_result)
+        tracer = get_tracer()
+        with tracer.span("exec.map", mode=self.mode, jobs=self.jobs,
+                         tasks=len(work)) as sp:
+            if self.mode == "serial" or len(work) <= 1:
+                sp.set(worker_mode="serial")
+                return [fn(item) for item in work]
+            if self.mode in ("auto", "process"):
+                try:
+                    return self._pooled(self._process_executor(), fn, work,
+                                        timeout_result, sp, "process")
+                except (OSError, ValueError, TypeError, AttributeError,
+                        ImportError) as exc:
+                    if self.mode == "process":
+                        raise
+                    # Unpicklable closure / sandboxed platform: degrade to
+                    # threads.
+                    sp.set(fallback=str(exc)[:120])
+                    return self._pooled(self._thread_executor(), fn, work,
+                                        timeout_result, sp, "thread")
+            return self._pooled(self._thread_executor(), fn, work,
+                                timeout_result, sp, "thread")
 
     # -- internals ----------------------------------------------------------
 
@@ -118,8 +154,14 @@ class ParallelEvaluator:
         return ThreadPoolExecutor(max_workers=self.jobs)
 
     def _pooled(self, executor, fn, work: Sequence[Any],
-                timeout_result, note: str = "") -> list[Any]:
-        with executor:
+                timeout_result, span=None, worker_mode: str = "") -> list[Any]:
+        tracer = get_tracer()
+        observing = tracer.enabled
+        latency = get_metrics().histogram("exec.task_latency_s") \
+            if observing else None
+        timeouts = 0
+        t_submit = time.perf_counter()
+        try:
             futures: list[Future] = [executor.submit(fn, item)
                                      for item in work]
             out: list[Any] = []
@@ -127,12 +169,53 @@ class ParallelEvaluator:
                 try:
                     out.append(future.result(timeout=self.timeout))
                 except FutureTimeout:
+                    timeouts += 1
                     future.cancel()
                     if timeout_result is None:
                         raise EvaluationTimeout(
                             f"evaluation exceeded {self.timeout}s") from None
                     out.append(timeout_result(item))
+                if latency is not None:
+                    # Queue+run latency from fan-out to result availability.
+                    latency.observe(time.perf_counter() - t_submit)
             return out
+        finally:
+            # A timed-out future cannot be cancelled once running and a
+            # default shutdown blocks until the hung worker finishes, so a
+            # stuck evaluation would wedge the whole sweep.  Shut down
+            # without waiting and forcibly reap stuck process workers.
+            self._shutdown(executor, force=timeouts > 0)
+            if observing:
+                metrics = get_metrics()
+                metrics.counter("exec.tasks").add(len(work))
+                if timeouts:
+                    metrics.counter("exec.timeouts").add(timeouts)
+                if span is not None:
+                    span.set(worker_mode=worker_mode, timeouts=timeouts)
+
+    @staticmethod
+    def _shutdown(executor, force: bool) -> None:
+        """Tear down a pool; ``force`` reaps workers instead of waiting."""
+        if not force:
+            executor.shutdown(wait=True)
+            return
+        # Snapshot the worker processes first: shutdown() clears
+        # ``_processes`` even with ``wait=False``.
+        processes = getattr(executor, "_processes", None)
+        workers = list(processes.values()) if processes else []
+        executor.shutdown(wait=False, cancel_futures=True)
+        if not workers:
+            # Thread pools cannot be force-killed; the cancelled futures
+            # never start and the hung thread is abandoned to finish alone.
+            return
+        for proc in workers:
+            proc.terminate()
+        deadline = time.monotonic() + _REAP_GRACE_S
+        for proc in workers:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
 
 
 def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any],

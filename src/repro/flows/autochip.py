@@ -20,6 +20,7 @@ from ..bench.problems import Problem
 from ..hdl.testbench import TestbenchResult
 from ..llm.model import Generation, GenerationTask, SimulatedLLM
 from ..llm.prompts import Prompt, PromptStrategy
+from ..obs import get_tracer
 
 
 @dataclass
@@ -78,32 +79,40 @@ class AutoChip:
         best_score = -1.0
         feedback = ""
 
+        tracer = get_tracer()
         for round_no in range(1, cfg.depth + 1):
             result.rounds_used = round_no
-            ranked: list[tuple[float, Generation, TestbenchResult]] = []
-            for i in range(cfg.k):
-                if round_no == 1 or best_generation is None:
-                    generation = self.llm.generate(
-                        task, prompt, cfg.temperature,
-                        sample_index=(round_no - 1) * cfg.k + i)
-                else:
-                    generation = self.llm.refine(
-                        task, best_generation, feedback, cfg.temperature,
-                        sample_index=(round_no - 1) * cfg.k + i)
-                result.generations += 1
-                tb = evaluate_candidate(problem, generation.text)
-                result.tool_evaluations += 1
-                score = tb.score if tb.compiled else -0.5
-                ranked.append((score, generation, tb))
-            ranked.sort(key=lambda item: -item[0])
-            round_best_score, round_best_gen, round_best_tb = ranked[0]
-            result.rounds.append(RoundLog(
-                round_no, [r[0] for r in ranked], round_best_score,
-                feedback[:80]))
-            if round_best_score > best_score:
-                best_score = round_best_score
-                best_generation = round_best_gen
-                best_result = round_best_tb
+            with tracer.span("autochip.round", round_no=round_no,
+                             k=cfg.k) as sp:
+                ranked: list[tuple[float, Generation, TestbenchResult]] = []
+                for i in range(cfg.k):
+                    if round_no == 1 or best_generation is None:
+                        generation = self.llm.generate(
+                            task, prompt, cfg.temperature,
+                            sample_index=(round_no - 1) * cfg.k + i)
+                    else:
+                        generation = self.llm.refine(
+                            task, best_generation, feedback, cfg.temperature,
+                            sample_index=(round_no - 1) * cfg.k + i)
+                    result.generations += 1
+                    tb = evaluate_candidate(problem, generation.text)
+                    result.tool_evaluations += 1
+                    score = tb.score if tb.compiled else -0.5
+                    ranked.append((score, generation, tb))
+                ranked.sort(key=lambda item: -item[0])
+                round_best_score, round_best_gen, round_best_tb = ranked[0]
+                result.rounds.append(RoundLog(
+                    round_no, [r[0] for r in ranked], round_best_score,
+                    feedback[:80]))
+                if round_best_score > best_score:
+                    best_score = round_best_score
+                    best_generation = round_best_gen
+                    best_result = round_best_tb
+                sp.set(best_score=round(round_best_score, 4),
+                       best_faults=len(round_best_gen.faults),
+                       round_fault_counts=[len(g.faults)
+                                           for _, g, _ in ranked],
+                       feedback_used=bool(feedback))
             assert best_result is not None
             if best_result.passed:
                 break

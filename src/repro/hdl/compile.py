@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from . import ast as A
+from ..obs import get_tracer
 from .elaborate import Design, elaborate
 from .parser import parse
 
@@ -200,6 +201,13 @@ class CompileCache:
         concatenated text would produce — so a DUT and a testbench can be
         compiled separately and cached independently.
         """
+        with get_tracer().span("hdl.compile", top=top) as sp:
+            compiled = self._compile_impl(sources, top)
+            sp.set(cached=compiled.from_cache, units=len(compiled.units))
+            return compiled
+
+    def _compile_impl(self, sources: str | Sequence[str],
+                      top: str) -> CompiledDesign:
         unit_list = [sources] if isinstance(sources, str) else list(sources)
         keys = tuple(source_key(s) for s in unit_list)
         dkey = (keys, top)
@@ -240,6 +248,13 @@ class CompileCache:
                   "result": self._results}
         return {name: {**lru.stats.as_dict(), "size": len(lru)}
                 for name, lru in layers.items()}
+
+    def metrics_gauges(self, prefix: str = "hdl.cache") -> dict[str, float]:
+        """Flat ``prefix.layer.stat`` gauge view of :meth:`stats` for
+        telemetry snapshots (see :func:`repro.obs.flush_metrics`)."""
+        return {f"{prefix}.{layer}.{key}": round(float(value), 6)
+                for layer, stats in self.stats_dict().items()
+                for key, value in stats.items()}
 
     def clear(self) -> None:
         self._parses.clear()

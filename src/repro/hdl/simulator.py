@@ -18,6 +18,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from . import ast as A
+from ..obs import get_metrics, get_tracer
 from .elaborate import Design, Process, Scope
 from .errors import SimulationError
 from .values import Logic, concat_all
@@ -64,6 +65,15 @@ class Simulator:
         self.error_count = 0
         self.finished = False
         self._rand_state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+
+        # Scheduler telemetry: plain integer counters (cheap enough to keep
+        # always on) published to :mod:`repro.obs` after :meth:`run` when
+        # tracing is enabled.  ``delta_cycles`` counts active-queue drains
+        # within one time slot (the Δ-cycles of the stratified event model).
+        self.events_processed = 0
+        self.delta_cycles = 0
+        self.nba_updates = 0
+        self.time_slots = 0
 
         self.values: dict[str, Logic] = {}
         for sig in design.signals.values():
@@ -544,6 +554,7 @@ class Simulator:
     def _apply_nba(self) -> None:
         updates = self._nba
         self._nba = []
+        self.nba_updates += len(updates)
         for flat, msb, lsb, value in updates:
             if msb is None:
                 self._set_signal(flat, value)
@@ -552,6 +563,30 @@ class Simulator:
 
     def run(self, max_time: int = 1_000_000) -> None:
         """Simulate until $finish, event exhaustion, or ``max_time``."""
+        try:
+            self._run(max_time)
+        finally:
+            self._publish_telemetry()
+
+    def stats(self) -> dict[str, int]:
+        """Scheduler counters accumulated by :meth:`run`."""
+        return {"events": self.events_processed,
+                "delta_cycles": self.delta_cycles,
+                "nba_updates": self.nba_updates,
+                "time_slots": self.time_slots,
+                "final_time": self.time}
+
+    def _publish_telemetry(self) -> None:
+        if not get_tracer().enabled:
+            return
+        metrics = get_metrics()
+        metrics.counter("sim.runs").add(1)
+        metrics.counter("sim.events").add(self.events_processed)
+        metrics.counter("sim.delta_cycles").add(self.delta_cycles)
+        metrics.counter("sim.nba_updates").add(self.nba_updates)
+        metrics.counter("sim.time_slots").add(self.time_slots)
+
+    def _run(self, max_time: int) -> None:
         # Time 0: run all comb processes once, then start coroutines.
         for idx, proc in enumerate(self.design.processes):
             if proc.kind == "assign" or (proc.kind == "always" and not proc.edges
@@ -567,9 +602,11 @@ class Simulator:
             while self._active or self._nba:
                 if self.finished:
                     return
+                self.delta_cycles += 1
                 while self._active:
                     item = self._active.pop(0)
                     tag = item[0]
+                    self.events_processed += 1
                     self._steps_this_slot += 1
                     if self._steps_this_slot > _MAX_STEPS_PER_SLOT:
                         raise SimulationError(
@@ -617,6 +654,7 @@ class Simulator:
             if next_time > max_time:
                 return
             self.time = next_time
+            self.time_slots += 1
             restart_counts.clear()
             while self._heap and self._heap[0][0] == self.time:
                 _, _, payload = heapq.heappop(self._heap)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from ..llm.model import SimulatedLLM, _stable_seed
 from ..llm.rag import VectorIndex, build_template_index
+from ..obs import get_tracer
 from .cast import CProgram
 from .compat import CompatReport, HlsIssue, check_compatibility
 from .cosim import CosimReport, c_rtl_cosim, cpu_fpga_cosim, _random_args
@@ -142,6 +143,18 @@ class HlsRepairEngine:
 
     def repair(self, source: str, top: str,
                clock_ns: float = 10.0) -> RepairResult:
+        tracer = get_tracer()
+        with tracer.span("hls.repair", top=top,
+                         model=self.llm.profile.name,
+                         use_rag=self.use_rag) as repair_span:
+            result = self._repair_impl(source, top, clock_ns, tracer)
+            repair_span.set(success=result.success, rounds=result.rounds,
+                            issues_found=len(result.issues_found),
+                            issues_fixed=len(result.issues_fixed))
+        return result
+
+    def _repair_impl(self, source: str, top: str, clock_ns: float,
+                     tracer) -> RepairResult:
         rng = random.Random(_stable_seed(self.seed, self.llm.profile.name,
                                          top, len(source), self.use_rag))
         result = RepairResult(success=False, original_source=source,
@@ -157,46 +170,56 @@ class HlsRepairEngine:
 
         for round_no in range(1, self.max_rounds + 1):
             result.rounds = round_no
-            report = check_compatibility(program, top)
-            result.log.append(StageLog(
-                "preprocess", f"round {round_no}: {report.error_log()}"))
-            detected, missed = self._detect_issues(report, rng)
-            if round_no == 1:
-                result.issues_found = list(detected)
-                result.latent_missed = missed
-            if not report.issues:
-                break
-            if not detected:
+            with tracer.span("hls.repair.round", round_no=round_no) as sp:
+                report = check_compatibility(program, top)
                 result.log.append(StageLog(
-                    "repair", "issues remain but none detected this round"))
-                break
-            progress = False
-            for issue in detected:
-                template = self._choose_template(issue, rng)
-                if template is None:
+                    "preprocess", f"round {round_no}: {report.error_log()}"))
+                detected, missed = self._detect_issues(report, rng)
+                if round_no == 1:
+                    result.issues_found = list(detected)
+                    result.latent_missed = missed
+                sp.set(issues=len(report.issues), detected=len(detected),
+                       latent_missed=missed)
+                if not report.issues:
+                    break
+                if not detected:
                     result.log.append(StageLog(
-                        "repair", f"no template for {issue.code}"))
-                    continue
-                # Application success depends on model capability.
-                apply_p = 0.55 + 0.4 * self.llm.profile.semantic_reliability
-                if rng.random() > apply_p:
-                    result.log.append(StageLog(
-                        "repair", f"{template.template_id}: model application "
-                                  f"failed for {issue.code}"))
-                    continue
-                outcome = template.apply(program, issue)
-                if outcome.applied:
-                    program = outcome.program
-                    progress = True
-                    fixed_ids.append(f"{issue.code}:{template.template_id}")
-                    result.log.append(StageLog(
-                        "repair", f"{template.template_id}: {outcome.note}"))
-                else:
-                    result.log.append(StageLog(
-                        "repair", f"{template.template_id}: not applicable "
-                                  f"({outcome.note})"))
-            if not progress:
-                break
+                        "repair",
+                        "issues remain but none detected this round"))
+                    break
+                progress = False
+                fixed_this_round = 0
+                for issue in detected:
+                    template = self._choose_template(issue, rng)
+                    if template is None:
+                        result.log.append(StageLog(
+                            "repair", f"no template for {issue.code}"))
+                        continue
+                    # Application success depends on model capability.
+                    apply_p = 0.55 \
+                        + 0.4 * self.llm.profile.semantic_reliability
+                    if rng.random() > apply_p:
+                        result.log.append(StageLog(
+                            "repair", f"{template.template_id}: model "
+                                      f"application failed for {issue.code}"))
+                        continue
+                    outcome = template.apply(program, issue)
+                    if outcome.applied:
+                        program = outcome.program
+                        progress = True
+                        fixed_this_round += 1
+                        fixed_ids.append(
+                            f"{issue.code}:{template.template_id}")
+                        result.log.append(StageLog(
+                            "repair",
+                            f"{template.template_id}: {outcome.note}"))
+                    else:
+                        result.log.append(StageLog(
+                            "repair", f"{template.template_id}: not "
+                                      f"applicable ({outcome.note})"))
+                sp.set(fixed=fixed_this_round)
+                if not progress:
+                    break
 
         final_report = check_compatibility(program, top)
         result.issues_fixed = fixed_ids
@@ -204,8 +227,11 @@ class HlsRepairEngine:
         result.repaired_source = program_str(program)
 
         # Stage 3: equivalence verification.
-        result.equivalence = self._verify_equivalence(
-            original_program, program, top, rng)
+        with tracer.span("hls.verify") as sp:
+            result.equivalence = self._verify_equivalence(
+                original_program, program, top, rng)
+            sp.set(equivalent=result.equivalence.equivalent,
+                   vectors=result.equivalence.vectors_run)
         result.log.append(StageLog("verify", result.equivalence.summary()))
 
         compatible = final_report.compatible
@@ -215,8 +241,11 @@ class HlsRepairEngine:
 
         # Stage 4: PPA optimization (only for successfully repaired kernels).
         if result.success and self.optimize_ppa:
-            program, before, after = self._optimize_ppa(program, top, clock_ns,
-                                                        rng, result)
+            with tracer.span("hls.ppa") as sp:
+                program, before, after = self._optimize_ppa(
+                    program, top, clock_ns, rng, result)
+                sp.set(latency_before=before.latency_cycles,
+                       latency_after=after.latency_cycles)
             result.schedule_before = before
             result.schedule_after = after
             result.repaired_source = program_str(program)

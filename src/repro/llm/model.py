@@ -132,10 +132,14 @@ class SimulatedLLM:
                feedback: str, temperature: float = 0.7,
                sample_index: int = 0) -> Generation:
         """Repair a previous candidate given tool feedback."""
+        # The feedback text goes through the SHA-256 _stable_seed like every
+        # other seed component: builtin str hashing is randomized per process
+        # (PYTHONHASHSEED), so seeding from hash(feedback) made "deterministic"
+        # repair loops differ across interpreter invocations.
         rng = random.Random(_stable_seed(
             self.seed, self.profile.name, task.task_id, "refine",
             previous.style_seed, round(temperature, 3), sample_index,
-            hash(feedback) & 0xFFFF))
+            feedback))
 
         compile_error = "COMPILE" in feedback.upper() \
             or "syntax" in feedback.lower()

@@ -1,0 +1,98 @@
+"""Pluggable telemetry sinks.
+
+A sink receives finished telemetry *records* — plain JSON-serializable
+dicts with a ``type`` key (``"span"`` or ``"metrics"``).  Three sinks
+cover every deployment mode the repo needs:
+
+* :class:`NullSink` — swallows everything; the default when tracing is
+  disabled (``REPRO_TRACE=0``), so instrumented hot paths stay no-ops.
+* :class:`InMemorySink` — accumulates records in a list; used by tests
+  and by :mod:`repro.obs.report` to render run summaries.
+* :class:`JsonlSink` — appends one JSON line per record to a file
+  (``REPRO_TRACE_FILE``), the production-shaped output future scaling
+  PRs regress span timings against.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+
+class Sink:
+    """Interface: receive one finished telemetry record."""
+
+    def emit(self, record: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent)."""
+
+
+class NullSink(Sink):
+    """Discards every record."""
+
+    def emit(self, record: dict) -> None:
+        pass
+
+
+class InMemorySink(Sink):
+    """Accumulates records in memory (thread-safe)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    def spans(self) -> list[dict]:
+        with self._lock:
+            return [r for r in self.records if r.get("type") == "span"]
+
+    def metrics(self) -> list[dict]:
+        with self._lock:
+            return [r for r in self.records if r.get("type") == "metrics"]
+
+    def clear(self) -> None:
+        with self._lock:
+            self.records.clear()
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to ``path`` (thread-safe).
+
+    The file handle is opened lazily on first emit and kept open; lines
+    are flushed per record so a crashed run still leaves a usable trace.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a JSONL trace file back into records (skips blank lines)."""
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

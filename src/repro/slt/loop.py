@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..llm.model import SimulatedLLM, _stable_seed
+from ..obs import get_tracer
 from ..riscv.fpga import FpgaPowerMeter
 from .pool import Candidate, CandidatePool
 from .scot import SltSnippetGenerator
@@ -107,7 +108,11 @@ class SltOptimizer:
         since_improvement = 0
         reason = "no iterations"
 
+        tracer = get_tracer()
         while True:
+            # The span's elapsed_hours attribute is the same meter clock the
+            # StopCondition elapsed-time clause reads, so a trace shows
+            # exactly how close each iteration ran to the time budget.
             reason_now = stop.should_stop(self.meter.elapsed_hours,
                                           snippet_id, since_improvement)
             if reason_now is not None:
@@ -115,33 +120,39 @@ class SltOptimizer:
                 break
             snippet_id += 1
 
-            examples = self.pool.sample_examples(
-                self.config.examples_per_prompt, rng)
-            generation = self.generator.generate(
-                examples, self.temperature.temperature, snippet_id)
-            measurement = self.meter.measure_c(generation.source)
-            power = measurement.watts if measurement.ok else 0.0
-            if not measurement.ok:
-                compile_failures += 1
+            with tracer.span("slt.iteration", snippet_id=snippet_id) as sp:
+                examples = self.pool.sample_examples(
+                    self.config.examples_per_prompt, rng)
+                generation = self.generator.generate(
+                    examples, self.temperature.temperature, snippet_id)
+                measurement = self.meter.measure_c(generation.source)
+                power = measurement.watts if measurement.ok else 0.0
+                if not measurement.ok:
+                    compile_failures += 1
 
-            admitted = False
-            distance = self.pool.distance_to_pool(generation.source)
-            if measurement.ok:
-                admitted = self.pool.consider(Candidate(
-                    generation.source, generation.genome, power, snippet_id))
-            if power > best_power:
-                best_power = power
-                best_source = generation.source
-                since_improvement = 0
-            else:
-                since_improvement += 1
+                admitted = False
+                distance = self.pool.distance_to_pool(generation.source)
+                if measurement.ok:
+                    admitted = self.pool.consider(Candidate(
+                        generation.source, generation.genome, power,
+                        snippet_id))
+                if power > best_power:
+                    best_power = power
+                    best_source = generation.source
+                    since_improvement = 0
+                else:
+                    since_improvement += 1
 
-            if self.config.adapt_temperature:
-                self.temperature.update(power, best_power, distance,
-                                        self.pool.min_distance)
-            events.append(LoopEvent(
-                snippet_id, self.meter.elapsed_hours, power, best_power,
-                self.temperature.temperature, admitted, measurement.ok))
+                if self.config.adapt_temperature:
+                    self.temperature.update(power, best_power, distance,
+                                            self.pool.min_distance)
+                events.append(LoopEvent(
+                    snippet_id, self.meter.elapsed_hours, power, best_power,
+                    self.temperature.temperature, admitted, measurement.ok))
+                sp.set(power_w=round(power, 4), best_w=round(best_power, 4),
+                       admitted=admitted, compiled=measurement.ok,
+                       elapsed_hours=round(self.meter.elapsed_hours, 4),
+                       temperature=round(self.temperature.temperature, 3))
             reason = "exhausted"
 
         return SltRunResult(
@@ -167,4 +178,10 @@ def run_llm_slt(model: str = "codellama-34b-instruct-ft", hours: float = 24.0,
                        enforce_diversity=enforce_diversity)
     optimizer = SltOptimizer(SimulatedLLM(model, seed=seed), meter, config,
                              seed=seed)
-    return optimizer.run(StopCondition(max_hours=hours))
+    with get_tracer().span("slt.run", model=model, hours=hours,
+                           seed=seed) as sp:
+        result = optimizer.run(StopCondition(max_hours=hours))
+        sp.set(stop_reason=result.stop_reason,
+               snippets=result.snippets_generated,
+               best_power_w=round(result.best_power_w, 4))
+    return result

@@ -171,3 +171,45 @@ class TestKnobs:
         assert stats["design"]["hits"] == 1
         assert stats["design"]["misses"] == 1
         assert 0.0 < stats["design"]["hit_rate"] <= 1.0
+
+
+class TestThreadSafety:
+    def test_lru_blob_cache_hammer(self):
+        # Many threads hitting a small LRU concurrently: stats must stay
+        # consistent (hits + misses == lookups issued), entries must never
+        # be torn, and the cache must respect its capacity bound.
+        import threading
+
+        from repro.hdl.compile import _LruBlobCache
+
+        cache = _LruBlobCache(capacity=16)
+        threads_n, iters, keyspace = 8, 400, 48
+        errors: list[str] = []
+        barrier = threading.Barrier(threads_n)
+
+        def worker(tid: int) -> None:
+            rng = __import__("random").Random(tid)
+            barrier.wait()
+            for i in range(iters):
+                key = f"k{rng.randrange(keyspace)}"
+                blob = cache.get(key)
+                if blob is None:
+                    cache.put(key, key.encode())
+                elif blob != key.encode():
+                    errors.append(f"torn read: {key!r} -> {blob!r}")
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30.0)
+        assert not errors
+        stats = cache.stats
+        assert stats.hits + stats.misses == threads_n * iters
+        assert stats.hits > 0 and stats.misses > 0
+        assert len(cache) <= 16
+        # Entries still serve correct bytes after the stampede.
+        for key in [f"k{i}" for i in range(keyspace)]:
+            blob = cache.get(key)
+            assert blob is None or blob == key.encode()

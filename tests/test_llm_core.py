@@ -262,6 +262,48 @@ class TestSimulatedLLM:
         assert llm.usage.total_tokens > before
         assert llm.usage.calls >= 1
 
+    def test_refine_is_stable_across_hash_seeds(self):
+        # Regression: refine() once seeded its RNG from hash(feedback),
+        # which PYTHONHASHSEED randomizes per interpreter — so the "same"
+        # repair loop produced different generations on different runs.
+        # Replay the loop in two subprocesses with different hash seeds
+        # and require byte-identical outcomes.
+        import os
+        import subprocess
+        import sys
+
+        script = """
+import hashlib
+from repro.llm import GenerationTask, SimulatedLLM
+
+REF = '''%s'''
+task = GenerationTask("counter", "a 4-bit counter", REF, complexity=2)
+llm = SimulatedLLM("chatgpt-3.5", seed=9)
+digest = hashlib.sha256()
+for i in range(8):
+    g = llm.generate(task, temperature=1.2, sample_index=i)
+    r = llm.refine(task, g, "simulation FAIL: expected 3 got 4",
+                   temperature=0.9, sample_index=i)
+    digest.update(r.text.encode())
+    digest.update(repr(r.faults).encode())
+    digest.update(repr(r.misinterpreted).encode())
+print(digest.hexdigest())
+""" % REF
+
+        src_dir = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src")
+
+        def run(hash_seed: str) -> str:
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed,
+                       PYTHONPATH=src_dir)
+            out = subprocess.run([sys.executable, "-c", script], env=env,
+                                 capture_output=True, text=True, timeout=120)
+            assert out.returncode == 0, out.stderr
+            return out.stdout.strip()
+
+        assert run("0") == run("12345")
+
 
 class TestPromptsAndRag:
     def test_scot_improves_semantics(self):

@@ -21,6 +21,12 @@ def _slow_identity(x):
     return x
 
 
+def _hang_or_echo(x):
+    if x == "hang":
+        time.sleep(60)
+    return x
+
+
 @pytest.fixture(autouse=True)
 def _fresh_default_cache():
     old = get_default_cache()
@@ -48,8 +54,12 @@ class TestJobsResolution:
         assert resolve_jobs(-1) == max(1, os.cpu_count() or 1)
 
     def test_garbage_env_degrades_to_serial(self, monkeypatch):
+        from repro.exec.parallel import _warned_bad_jobs
+
         monkeypatch.setenv(JOBS_ENV, "lots")
-        assert resolve_jobs() == 1
+        _warned_bad_jobs.discard(("REPRO_JOBS environment variable", "lots"))
+        with pytest.warns(RuntimeWarning):
+            assert resolve_jobs() == 1
 
     def test_bad_mode_rejected(self):
         with pytest.raises(ValueError):
@@ -101,6 +111,54 @@ class TestTimeouts:
     def test_fast_tasks_unaffected_by_timeout(self):
         ev = ParallelEvaluator(2, mode="thread", timeout=30.0)
         assert ev.map(_square, [3, 4]) == [9, 16]
+
+    def test_hung_worker_does_not_wedge_sweep(self):
+        # Regression: ``with executor:`` used to block on the hung worker
+        # at shutdown, so one stuck task turned a 1.5s sweep into a 60s
+        # one.  The pool must be abandoned (wait=False) and stuck process
+        # workers forcibly reaped.
+        import multiprocessing
+
+        ev = ParallelEvaluator(2, mode="process", timeout=1.5)
+        t0 = time.monotonic()
+        out = ev.map(_hang_or_echo, ["hang", "a", "b", "c"],
+                     timeout_result=lambda item: ("TO", item))
+        elapsed = time.monotonic() - t0
+        assert out == [("TO", "hang"), "a", "b", "c"]
+        assert elapsed < 2 * 1.5, f"sweep wedged for {elapsed:.1f}s"
+        # The hung fork worker must actually be dead, not leaked.
+        deadline = time.monotonic() + 5.0
+        while multiprocessing.active_children() \
+                and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+
+class TestBadJobsWarning:
+    def test_garbage_env_warns_once_naming_value(self, monkeypatch):
+        import warnings as warnings_mod
+
+        from repro.exec.parallel import _warned_bad_jobs
+
+        monkeypatch.setenv(JOBS_ENV, "garbage-49")
+        _warned_bad_jobs.discard(
+            ("REPRO_JOBS environment variable", "garbage-49"))
+        with pytest.warns(RuntimeWarning, match="garbage-49") as caught:
+            assert resolve_jobs() == 1
+        assert len(caught) == 1
+        assert "REPRO_JOBS" in str(caught[0].message)
+        # Deduplicated: the same bad value never warns twice.
+        with warnings_mod.catch_warnings(record=True) as again:
+            warnings_mod.simplefilter("always")
+            assert resolve_jobs() == 1
+        assert not again
+
+    def test_garbage_argument_warns_with_source(self):
+        from repro.exec.parallel import _warned_bad_jobs
+
+        _warned_bad_jobs.discard(("jobs argument", "many"))
+        with pytest.warns(RuntimeWarning, match="jobs argument"):
+            assert resolve_jobs("many") == 1
 
 
 def _suite_signature(suite):
