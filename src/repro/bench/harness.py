@@ -15,6 +15,7 @@ from ..hdl.testbench import TestbenchResult
 from ..llm.model import Generation, GenerationTask, SimulatedLLM
 from ..llm.prompts import Prompt, PromptStrategy
 from ..obs import get_tracer
+from ..service import LLMClient, resolve_client
 from .problems import Problem
 
 
@@ -102,22 +103,26 @@ class SuiteEval:
         return {c: sum(v) / len(v) for c, v in sorted(buckets.items())}
 
 
-def evaluate_model(model: str | SimulatedLLM, problems: list[Problem],
+def evaluate_model(model: str | SimulatedLLM | LLMClient,
+                   problems: list[Problem],
                    k: int = 1, temperature: float = 0.7,
                    strategy: PromptStrategy = PromptStrategy.DIRECT,
-                   seed: int = 0, jobs: int | str | None = None,
+                   *, seed: int = 0, jobs: int | str | None = None,
                    mode: str = "auto",
                    timeout: float | None = None) -> SuiteEval:
     """Sample ``k`` candidates per problem and score them all.
 
-    ``jobs`` fans the (independent, CPU-bound) testbench evaluations out
-    over a worker pool; unset, it falls back to the ``REPRO_JOBS``
-    environment variable and then to serial.  Generation stays in-process
-    and scoring is a pure function of the candidate text, so the parallel
-    path produces statistics identical to the serial path for a fixed seed.
+    ``model`` may be a profile name, a raw :class:`SimulatedLLM`, or any
+    :class:`~repro.service.LLMClient` (strings resolve through
+    :func:`repro.service.resolve_client`, so ``REPRO_SERVICE=1`` routes
+    generation through the broker with identical statistics).  ``jobs``
+    fans the (independent, CPU-bound) testbench evaluations out over a
+    worker pool; unset, it falls back to the ``REPRO_JOBS`` environment
+    variable and then to serial.  Generation stays in-process and scoring
+    is a pure function of the candidate text, so the parallel path
+    produces statistics identical to the serial path for a fixed seed.
     """
-    llm = model if isinstance(model, SimulatedLLM) else SimulatedLLM(model,
-                                                                     seed=seed)
+    llm = resolve_client(model, seed=seed)
     suite = SuiteEval(model=llm.profile.name, strategy=strategy)
     tracer = get_tracer()
     with tracer.span("bench.evaluate_model", model=llm.profile.name, k=k,

@@ -1,0 +1,189 @@
+"""``repro.config`` — one typed reader for every ``REPRO_*`` environment knob.
+
+Before this module each subsystem parsed its own environment variables
+(``repro.exec`` read ``REPRO_JOBS``, ``repro.hdl.compile`` read the cache
+knobs, ``repro.obs`` read the trace switches), each with slightly different
+falsy conventions and error handling.  :class:`Settings` centralizes the
+parsing with three rules:
+
+* accessors read ``os.environ`` **live**, so tests and operators can flip a
+  knob mid-process (matching the pre-existing behaviour of every knob);
+* unparseable non-empty values degrade to the documented default and emit a
+  **one-time** ``RuntimeWarning`` naming the bad value and its source (the
+  behaviour ``REPRO_JOBS`` pioneered, now uniform across all knobs);
+* boolean knobs share one falsy set (``"", 0, false, no, off`` — case
+  insensitive) so ``REPRO_TRACE=off`` and ``REPRO_SERVICE=off`` mean what
+  they say.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+ENV_JOBS = "REPRO_JOBS"
+ENV_HDL_CACHE = "REPRO_HDL_CACHE"
+ENV_COMPILE_CACHE = "REPRO_COMPILE_CACHE"
+ENV_RESULT_CACHE = "REPRO_RESULT_CACHE"
+ENV_TRACE = "REPRO_TRACE"
+ENV_TRACE_FILE = "REPRO_TRACE_FILE"
+ENV_SERVICE = "REPRO_SERVICE"
+ENV_SERVICE_BATCH = "REPRO_SERVICE_BATCH"
+ENV_SERVICE_QUEUE = "REPRO_SERVICE_QUEUE"
+ENV_SERVICE_RETRIES = "REPRO_SERVICE_RETRIES"
+ENV_FULL_EVAL = "REPRO_FULL_EVAL"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+# One warning per (source, bad value) pair for the process lifetime, shared
+# by every accessor (and aliased by repro.exec.parallel for compatibility).
+_warned_values: set[tuple[str, str]] = set()
+
+
+def _warn_once(source: str, value: str, message: str) -> None:
+    key = (source, value)
+    if key in _warned_values:
+        return
+    _warned_values.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+
+class Settings:
+    """Live, typed view of the ``REPRO_*`` environment knobs."""
+
+    # -- generic accessors ---------------------------------------------------
+
+    @staticmethod
+    def env_bool(name: str, default: bool) -> bool:
+        raw = os.environ.get(name)
+        if raw is None:
+            return default
+        return raw.strip().lower() not in _FALSY
+
+    @staticmethod
+    def env_int(name: str, default: int) -> int:
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            _warn_once(
+                f"{name} environment variable", raw,
+                f"{name} environment variable value {raw!r} is not an "
+                f"integer; falling back to the default ({default})")
+            return default
+
+    @staticmethod
+    def env_str(name: str, default: str = "") -> str:
+        return os.environ.get(name, default).strip()
+
+    # -- worker pools --------------------------------------------------------
+
+    def resolve_jobs(self, jobs: int | str | None = None) -> int:
+        """Worker count: explicit argument > ``REPRO_JOBS`` > serial (1).
+
+        ``"auto"`` or any negative value means one worker per CPU.  An
+        unparseable value degrades to serial but warns once, naming the bad
+        value and where it came from.
+        """
+        source = "jobs argument"
+        if jobs is None:
+            env = self.env_str(ENV_JOBS)
+            if not env:
+                return 1
+            jobs = env
+            source = f"{ENV_JOBS} environment variable"
+        if isinstance(jobs, str):
+            if jobs.lower() == "auto":
+                jobs = -1
+            else:
+                try:
+                    jobs = int(jobs)
+                except ValueError:
+                    _warn_once(
+                        source, jobs,
+                        f"{source} value {jobs!r} is not an integer or "
+                        f"'auto'; falling back to serial evaluation (jobs=1)")
+                    return 1
+        if jobs < 0:
+            return max(1, os.cpu_count() or 1)
+        return max(1, jobs)
+
+    # -- compile cache -------------------------------------------------------
+
+    @property
+    def hdl_cache_enabled(self) -> bool:
+        return self.env_bool(ENV_HDL_CACHE, True)
+
+    @property
+    def compile_cache_capacity(self) -> int:
+        return self.env_int(ENV_COMPILE_CACHE, 256)
+
+    @property
+    def result_cache_capacity(self) -> int:
+        return self.env_int(ENV_RESULT_CACHE, 1024)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def trace_enabled(self) -> bool:
+        return self.env_bool(ENV_TRACE, False)
+
+    @property
+    def trace_file(self) -> str:
+        return self.env_str(ENV_TRACE_FILE)
+
+    # -- model-serving broker ------------------------------------------------
+
+    @property
+    def service_enabled(self) -> bool:
+        """``REPRO_SERVICE=1`` routes every resolved client via the broker."""
+        return self.env_bool(ENV_SERVICE, False)
+
+    @property
+    def service_batch_size(self) -> int:
+        return max(1, self.env_int(ENV_SERVICE_BATCH, 8))
+
+    @property
+    def service_queue_capacity(self) -> int:
+        return max(1, self.env_int(ENV_SERVICE_QUEUE, 256))
+
+    @property
+    def service_max_retries(self) -> int:
+        return max(0, self.env_int(ENV_SERVICE_RETRIES, 3))
+
+    # -- benchmarks ----------------------------------------------------------
+
+    @property
+    def full_eval(self) -> bool:
+        return self.env_bool(ENV_FULL_EVAL, False)
+
+    def snapshot(self) -> dict[str, object]:
+        """Debug view of every knob (one line in ``repro.flows`` CLI)."""
+        return {
+            "jobs": self.resolve_jobs(),
+            "hdl_cache": self.hdl_cache_enabled,
+            "compile_cache_capacity": self.compile_cache_capacity,
+            "result_cache_capacity": self.result_cache_capacity,
+            "trace": self.trace_enabled,
+            "trace_file": self.trace_file,
+            "service": self.service_enabled,
+            "service_batch_size": self.service_batch_size,
+            "service_queue_capacity": self.service_queue_capacity,
+            "service_max_retries": self.service_max_retries,
+            "full_eval": self.full_eval,
+        }
+
+
+_settings = Settings()
+
+
+def get_settings() -> Settings:
+    """The process-wide settings reader."""
+    return _settings
+
+
+def reset_warned_values() -> None:
+    """Forget which bad values already warned (tests only)."""
+    _warned_values.clear()

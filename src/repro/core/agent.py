@@ -14,13 +14,14 @@ from dataclasses import dataclass, field
 from ..bench.problems import Problem
 from ..llm.model import SimulatedLLM
 from ..obs import flush_metrics, get_tracer
+from ..service import LLMClient, resolve_client
 from .stages import DEFAULT_PIPELINE, Stage, StageContext
 from .state import DesignState
 
 
 @dataclass
 class AgentConfig:
-    model: str = "gpt-4o"
+    model: str | SimulatedLLM | LLMClient = "gpt-4o"
     enable_feedback: bool = True
     max_reopens: int = 2        # upstream re-entries on downstream failure
     autochip_k: int = 3
@@ -57,7 +58,7 @@ class EdaAgent:
 
     def run(self, problem: Problem) -> AgentRunReport:
         cfg = self.config
-        llm = SimulatedLLM(cfg.model, seed=self.seed)
+        llm = resolve_client(cfg.model, seed=self.seed)
         ctx = StageContext(llm=llm, problem=problem, seed=self.seed,
                            enable_feedback=cfg.enable_feedback,
                            autochip_k=cfg.autochip_k,
@@ -67,7 +68,7 @@ class EdaAgent:
 
         tracer = get_tracer()
         with tracer.span("agent.run", problem=problem.problem_id,
-                         model=cfg.model, seed=self.seed,
+                         model=llm.profile.name, seed=self.seed,
                          feedback=cfg.enable_feedback) as run_span:
             index = 0
             attempts: dict[str, int] = {}
@@ -88,7 +89,7 @@ class EdaAgent:
                         and stage.name in ("static_analysis", "verification")):
                     reopens += 1
                     ctx.seed += 1000
-                    ctx.llm = SimulatedLLM(cfg.model, seed=ctx.seed)
+                    ctx.llm = ctx.llm.derive(ctx.seed)
                     index = next(i for i, s in enumerate(self.pipeline)
                                  if s.name == "rtl_generation")
                     continue
@@ -101,7 +102,7 @@ class EdaAgent:
             run_span.set(success=success and state.verified, reopens=reopens,
                          tokens=llm.usage.total_tokens)
         flush_metrics(tracer)
-        return AgentRunReport(problem.problem_id, cfg.model, state,
+        return AgentRunReport(problem.problem_id, llm.profile.name, state,
                               success and state.verified, reopens,
                               llm.usage.total_tokens)
 
@@ -128,14 +129,26 @@ class AgentSweep:
         return {stage: sum(v) / len(v) for stage, v in sorted(counts.items())}
 
 
-def run_agent_sweep(problems: list[Problem], model: str = "gpt-4o",
-                    enable_feedback: bool = True,
-                    seeds: tuple[int, ...] = (0, 1)) -> AgentSweep:
+def run_agent_sweep(problems: list[Problem],
+                    model: str | SimulatedLLM | LLMClient = "gpt-4o",
+                    enable_feedback: bool = True, *,
+                    seeds: tuple[int, ...] = (0, 1),
+                    jobs: int | str | None = None) -> AgentSweep:
+    """Run the agent over a problem/seed grid.
+
+    ``jobs`` fans independent (problem, seed) cells over a worker pool when
+    ``model`` is a plain profile name; client instances run serially (they
+    are not picklable).  Results keep the seed-major serial ordering.
+    """
+    cells = [(problem, model, enable_feedback, seed)
+             for seed in seeds for problem in problems]
+    if isinstance(model, str):
+        from ..exec import ParallelEvaluator, agent_run_task
+        return AgentSweep(ParallelEvaluator(jobs).map(agent_run_task, cells))
     sweep = AgentSweep()
-    for seed in seeds:
+    for problem, _, _, seed in cells:
         agent = EdaAgent(AgentConfig(model=model,
                                      enable_feedback=enable_feedback),
                          seed=seed)
-        for problem in problems:
-            sweep.reports.append(agent.run(problem))
+        sweep.reports.append(agent.run(problem))
     return sweep

@@ -18,6 +18,7 @@ from ..flows.autochip import AutoChip, AutoChipConfig
 from ..hdl import lint_source, parse
 from ..llm.model import SimulatedLLM
 from ..obs import get_tracer
+from ..service.client import LLMClient
 from ..synth import estimate_ppa, optimize, synthesize_module
 from ..synth.optimize import DEFAULT_SCRIPT
 from .state import DesignState
@@ -29,7 +30,7 @@ class StageError(Exception):
 
 @dataclass
 class StageContext:
-    llm: SimulatedLLM
+    llm: "SimulatedLLM | LLMClient"
     problem: Problem
     seed: int = 0
     enable_feedback: bool = True     # cross-stage feedback (the ablation knob)

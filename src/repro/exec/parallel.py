@@ -23,14 +23,14 @@ serial (1).  ``jobs="auto"`` or any value < 0 means one worker per CPU.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import time
-import warnings
 from concurrent.futures import (Future, ProcessPoolExecutor,
                                 ThreadPoolExecutor, TimeoutError as
                                 FutureTimeout)
 from typing import Any, Callable, Iterable, Sequence
 
+from ..config import _warned_values as _warned_bad_jobs
+from ..config import get_settings
 from ..obs import get_metrics, get_tracer
 
 JOBS_ENV = "REPRO_JOBS"
@@ -38,47 +38,15 @@ JOBS_ENV = "REPRO_JOBS"
 # Grace period for terminated workers to exit before they are SIGKILLed.
 _REAP_GRACE_S = 5.0
 
-_warned_bad_jobs: set[tuple[str, str]] = set()
-
-
-def _warn_bad_jobs(value: str, source: str) -> None:
-    """One-time warning per bad value so misconfigured sweeps don't
-    silently run 1-wide."""
-    key = (source, value)
-    if key in _warned_bad_jobs:
-        return
-    _warned_bad_jobs.add(key)
-    warnings.warn(
-        f"{source} value {value!r} is not an integer or 'auto'; "
-        f"falling back to serial evaluation (jobs=1)",
-        RuntimeWarning, stacklevel=3)
-
 
 def resolve_jobs(jobs: int | str | None = None) -> int:
     """Resolve a worker count from the argument or the environment.
 
-    An unparseable value degrades to serial (1) but emits a one-time
-    ``RuntimeWarning`` naming the bad value and where it came from.
+    Delegates to :class:`repro.config.Settings`: an unparseable value
+    degrades to serial (1) but emits a one-time ``RuntimeWarning`` naming
+    the bad value and where it came from.
     """
-    source = "jobs argument"
-    if jobs is None:
-        env = os.environ.get(JOBS_ENV, "").strip()
-        if not env:
-            return 1
-        jobs = env
-        source = f"{JOBS_ENV} environment variable"
-    if isinstance(jobs, str):
-        if jobs.lower() == "auto":
-            jobs = -1
-        else:
-            try:
-                jobs = int(jobs)
-            except ValueError:
-                _warn_bad_jobs(jobs, source)
-                return 1
-    if jobs < 0:
-        return max(1, os.cpu_count() or 1)
-    return max(1, jobs)
+    return get_settings().resolve_jobs(jobs)
 
 
 class EvaluationTimeout(Exception):

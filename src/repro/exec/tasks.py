@@ -45,12 +45,65 @@ def guided_debug_task(payload: tuple) -> Any:
     seed) -> GuidedDebugResult`` — one cell of a guided-debugging sweep."""
     problem, model, use_crosscheck, max_iterations, temperature, seed = payload
     from ..flows.crosscheck import guided_debug
-    from ..llm.model import SimulatedLLM
-    llm = model if isinstance(model, SimulatedLLM) \
-        else SimulatedLLM(model, seed=seed)
+    from ..service import resolve_client
+    llm = resolve_client(model, seed=seed)
     return guided_debug(problem, llm, use_crosscheck=use_crosscheck,
                         max_iterations=max_iterations,
                         temperature=temperature, seed=seed)
+
+
+def agent_run_task(payload: tuple) -> Any:
+    """``(problem, model, enable_feedback, seed) -> AgentRunReport`` — one
+    cell of an agent sweep."""
+    problem, model, enable_feedback, seed = payload
+    from ..core.agent import AgentConfig, EdaAgent
+    agent = EdaAgent(AgentConfig(model=model,
+                                 enable_feedback=enable_feedback),
+                     seed=seed)
+    return agent.run(problem)
+
+
+def structured_flow_task(payload: tuple) -> Any:
+    """``(problem, model, seed) -> StructuredFlowResult`` — one cell of a
+    structured-feedback sweep."""
+    problem, model, seed = payload
+    from ..flows.structured import StructuredFeedbackFlow
+    from ..service import resolve_client
+    flow = StructuredFeedbackFlow(resolve_client(model, seed=seed))
+    return flow.run(problem, seed=seed)
+
+
+def chipchat_task(payload: tuple) -> Any:
+    """``(problem, model, seed) -> ChipChatResult`` — one Chip-Chat block."""
+    problem, model, seed = payload
+    from ..flows.chipchat import ChipChatSession
+    from ..service import resolve_client
+    return ChipChatSession(resolve_client(model, seed=seed)).run(problem)
+
+
+def hierarchical_task(payload: tuple) -> Any:
+    """``(problem, model, seed) -> HierarchicalResult`` — one cell of a
+    hierarchical-vs-direct sweep."""
+    problem, model, seed = payload
+    from ..flows.hierarchical import run_hierarchical
+    return run_hierarchical(problem, model, seed=seed)
+
+
+def assertion_quality_task(payload: tuple) -> Any:
+    """``(problem, model, seed) -> AssertionReport`` — one assertion-quality
+    cell."""
+    problem, model, seed = payload
+    from ..flows.assertgen import assertion_quality
+    return assertion_quality(problem, model, seed=seed)
+
+
+def testbench_quality_task(payload: tuple) -> Any:
+    """``(problem, model, self_correct, seed) -> TbQualityReport`` — one
+    generated-testbench quality cell."""
+    problem, model, self_correct, seed = payload
+    from ..flows.autobench import testbench_quality
+    return testbench_quality(problem, model, seed=seed,
+                             self_correct=self_correct)
 
 
 def detect_trojan_task(payload: tuple) -> Any:

@@ -14,7 +14,8 @@
   and refinement.
 """
 
-from .assertgen import (Assertion, AssertionReport, assertion_quality,
+from .assertgen import (Assertion, AssertionReport, AssertionSweep,
+                        assertion_quality, assertion_sweep,
                         generate_assertions, refine_assertions)
 from .crosscheck import (CrossCheckReport, GuidedDebugResult,
                          GuidedDebugSweep, HighLevelModel, crosscheck,
@@ -23,8 +24,9 @@ from .crosscheck import (CrossCheckReport, GuidedDebugResult,
 from .security import (CompromisedDesign, DetectionReport, TrojanSpec,
                        detect_with_cec, detect_with_random_cosim,
                        detect_with_testbench, detection_sweep, insert_trojan)
-from .autobench import (GeneratedTestbench, TbQualityReport, TbVerdict,
-                        check_design, generate_testbench, testbench_quality)
+from .autobench import (AutoBenchSweep, GeneratedTestbench, TbQualityReport,
+                        TbVerdict, autobench_sweep, check_design,
+                        generate_testbench, testbench_quality)
 from .autochip import (AutoChip, AutoChipConfig, AutoChipResult,
                        BudgetComparison, compare_budgets, run_autochip)
 from .chipchat import (ChipChatResult, ChipChatSession, TapeoutReport,
@@ -34,9 +36,11 @@ from .hierarchical import (HierarchicalResult, HierarchicalSweep,
 from .structured import (StructuredFeedbackFlow, StructuredFlowResult,
                          StructuredSweep, run_structured_sweep)
 from .vrank import Cluster, VRankResult, VRankSweep, vrank, vrank_sweep
+from .registry import FlowSpec, get_flow, list_flows, run_flow
 
 __all__ = [
-    "Assertion", "AssertionReport", "AutoChip", "AutoChipConfig",
+    "Assertion", "AssertionReport", "AssertionSweep", "AutoBenchSweep",
+    "AutoChip", "AutoChipConfig", "FlowSpec",
     "CompromisedDesign", "CrossCheckReport", "DetectionReport",
     "GuidedDebugResult", "GuidedDebugSweep", "HighLevelModel", "TrojanSpec",
     "crosscheck",
@@ -48,9 +52,11 @@ __all__ = [
     "HierarchicalResult", "HierarchicalSweep", "StructuredFeedbackFlow",
     "StructuredFlowResult", "StructuredSweep", "TapeoutReport",
     "TbQualityReport", "TbVerdict", "VRankResult", "VRankSweep",
-    "assertion_quality", "check_design", "compare_budgets",
-    "generate_assertions", "generate_testbench", "hierarchical_sweep",
-    "refine_assertions", "run_autochip", "run_chipchat_tapeout",
+    "assertion_quality", "assertion_sweep", "autobench_sweep",
+    "check_design", "compare_budgets",
+    "generate_assertions", "generate_testbench", "get_flow",
+    "hierarchical_sweep", "list_flows",
+    "refine_assertions", "run_autochip", "run_chipchat_tapeout", "run_flow",
     "run_hierarchical", "run_structured_sweep", "testbench_quality",
     "vrank", "vrank_sweep",
 ]

@@ -1,0 +1,76 @@
+"""Command-line launcher for registered flows.
+
+Examples::
+
+    python -m repro.flows --list
+    python -m repro.flows vrank --model chatgpt-3.5 --seed 1
+    python -m repro.flows autochip --problems c2_gray,c2_absdiff --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, is_dataclass
+from typing import Any
+
+from ..bench.problems import all_problems, get_problem
+from .registry import get_flow, list_flows
+
+
+def _summarize(result: Any) -> Any:
+    if isinstance(result, list):
+        return [_summarize(item) for item in result]
+    if is_dataclass(result) and not isinstance(result, type):
+        summary = getattr(result, "summary", None)
+        if callable(summary):
+            return summary()
+        return asdict(result)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.flows",
+        description="List or launch the registered paper flows.")
+    parser.add_argument("flow", nargs="?",
+                        help="flow name (see --list)")
+    parser.add_argument("--list", action="store_true", dest="list_flows",
+                        help="list registered flows and exit")
+    parser.add_argument("--model", default="gpt-4",
+                        help="model profile name (default: gpt-4)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sweep seed (default: 0)")
+    parser.add_argument("--jobs", default=None,
+                        help="worker count or 'auto' (default: REPRO_JOBS)")
+    parser.add_argument("--problems", default=None,
+                        help="comma-separated problem ids "
+                             "(default: every benchmark problem)")
+    args = parser.parse_args(argv)
+
+    if args.list_flows or args.flow is None:
+        for spec in list_flows():
+            model_note = "" if spec.uses_model else "  [no model]"
+            print(f"{spec.name:14s} {spec.summary}{model_note}")
+        return 0
+
+    try:
+        spec = get_flow(args.flow)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    if args.problems:
+        problems = [get_problem(pid.strip())
+                    for pid in args.problems.split(",") if pid.strip()]
+    else:
+        problems = all_problems()
+
+    result = spec.run(problems, args.model, seed=args.seed, jobs=args.jobs)
+    print(json.dumps(_summarize(result), indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

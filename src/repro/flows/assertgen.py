@@ -26,6 +26,7 @@ from ..bench.harness import make_task
 from ..bench.problems import Problem
 from ..hdl.testbench import exercise_module
 from ..llm.model import SimulatedLLM, _stable_seed
+from ..service import LLMClient, resolve_client
 from .autobench import _interface
 
 
@@ -54,10 +55,12 @@ def _holds(assertion: Assertion, source: str, module_name: str,
     return rows[-1].get(assertion.port) == assertion.expected
 
 
-def generate_assertions(problem: Problem, llm: SimulatedLLM,
-                        n_assertions: int = 8,
+def generate_assertions(problem: Problem,
+                        model: str | SimulatedLLM | LLMClient,
+                        n_assertions: int = 8, *,
                         seed: int = 0) -> list[Assertion]:
     """Mine assertions from the spec (simulated AssertLLM front-end)."""
+    llm = resolve_client(model, seed=seed)
     profile = llm.profile
     rng = random.Random(_stable_seed(seed, profile.name, problem.problem_id,
                                      "assert"))
@@ -138,11 +141,13 @@ def refine_assertions(assertions: list[Assertion], problem: Problem,
     return current, rounds
 
 
-def assertion_quality(problem: Problem, llm: SimulatedLLM, seed: int = 0,
-                      n_assertions: int = 8,
-                      n_mutants: int = 5) -> AssertionReport:
+def assertion_quality(problem: Problem,
+                      model: str | SimulatedLLM | LLMClient,
+                      n_assertions: int = 8, n_mutants: int = 5, *,
+                      seed: int = 0) -> AssertionReport:
+    llm = resolve_client(model, seed=seed)
     widths, clk, reset = _interface(problem)
-    assertions = generate_assertions(problem, llm, n_assertions, seed)
+    assertions = generate_assertions(problem, llm, n_assertions, seed=seed)
     valid = sum(1 for a in assertions
                 if _holds(a, problem.reference, problem.module_name,
                           clk, reset) is True)
@@ -171,3 +176,38 @@ def assertion_quality(problem: Problem, llm: SimulatedLLM, seed: int = 0,
     return AssertionReport(problem.problem_id, llm.profile.name,
                            len(assertions), valid, len(refined), kill_rate,
                            rounds)
+
+
+@dataclass
+class AssertionSweep:
+    results: list[AssertionReport] = field(default_factory=list)
+
+    @property
+    def mean_validity(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.validity for r in self.results) / len(self.results)
+
+    @property
+    def mean_kill_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.mutant_kill_rate
+                   for r in self.results) / len(self.results)
+
+
+def assertion_sweep(problems: list[Problem],
+                    model: str | SimulatedLLM | LLMClient = "gpt-4", *,
+                    seeds: tuple[int, ...] = (0, 1, 2),
+                    jobs: int | str | None = None) -> AssertionSweep:
+    """Assertion-quality grid; fans out for plain profile names."""
+    cells = [(problem, model, seed)
+             for seed in seeds for problem in problems]
+    if isinstance(model, str):
+        from ..exec import ParallelEvaluator, assertion_quality_task
+        return AssertionSweep(
+            ParallelEvaluator(jobs).map(assertion_quality_task, cells))
+    sweep = AssertionSweep()
+    for problem, _, seed in cells:
+        sweep.results.append(assertion_quality(problem, model, seed=seed))
+    return sweep

@@ -28,6 +28,7 @@ from ..hdl import parse_module
 from ..hdl.elaborate import eval_const
 from ..hdl.testbench import exercise_module
 from ..llm.model import SimulatedLLM, _stable_seed
+from ..service import LLMClient, resolve_client
 
 
 @dataclass
@@ -76,10 +77,12 @@ def _interface(problem: Problem) -> tuple[dict[str, int], str | None, str | None
     return widths, clk, reset
 
 
-def generate_testbench(problem: Problem, llm: SimulatedLLM,
-                       n_vectors: int | None = None, seed: int = 0,
+def generate_testbench(problem: Problem,
+                       model: str | SimulatedLLM | LLMClient,
+                       n_vectors: int | None = None, *, seed: int = 0,
                        self_correct: bool = False) -> GeneratedTestbench:
     """Simulate LLM testbench generation for one problem."""
+    llm = resolve_client(model, seed=seed)
     profile = llm.profile
     rng = random.Random(_stable_seed(seed, profile.name, problem.problem_id,
                                      "autobench"))
@@ -186,10 +189,12 @@ class TbQualityReport:
                 f"kill={self.mutant_kill_rate:.0%}")
 
 
-def testbench_quality(problem: Problem, llm: SimulatedLLM, seed: int = 0,
-                      self_correct: bool = False,
-                      n_mutants: int = 6) -> TbQualityReport:
+def testbench_quality(problem: Problem,
+                      model: str | SimulatedLLM | LLMClient,
+                      n_mutants: int = 6, *, seed: int = 0,
+                      self_correct: bool = False) -> TbQualityReport:
     """Measure a generated testbench on the two axes that matter."""
+    llm = resolve_client(model, seed=seed)
     tb = generate_testbench(problem, llm, seed=seed, self_correct=self_correct)
     golden_verdict = check_design(tb, problem.reference, problem.module_name)
     false_reject = not golden_verdict.passed
@@ -217,3 +222,40 @@ def testbench_quality(problem: Problem, llm: SimulatedLLM, seed: int = 0,
     return TbQualityReport(problem.problem_id, llm.profile.name, self_correct,
                            tb.n_checks, false_reject, kill_rate,
                            min(2.0, coverage))
+
+
+@dataclass
+class AutoBenchSweep:
+    results: list[TbQualityReport] = field(default_factory=list)
+
+    @property
+    def false_reject_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.false_reject for r in self.results) / len(self.results)
+
+    @property
+    def mean_kill_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.mutant_kill_rate
+                   for r in self.results) / len(self.results)
+
+
+def autobench_sweep(problems: list[Problem],
+                    model: str | SimulatedLLM | LLMClient = "gpt-4", *,
+                    self_correct: bool = False,
+                    seeds: tuple[int, ...] = (0, 1, 2),
+                    jobs: int | str | None = None) -> AutoBenchSweep:
+    """Generated-testbench quality grid; fans out for plain profile names."""
+    cells = [(problem, model, self_correct, seed)
+             for seed in seeds for problem in problems]
+    if isinstance(model, str):
+        from ..exec import ParallelEvaluator, testbench_quality_task
+        return AutoBenchSweep(
+            ParallelEvaluator(jobs).map(testbench_quality_task, cells))
+    sweep = AutoBenchSweep()
+    for problem, _, self_corr, seed in cells:
+        sweep.results.append(testbench_quality(problem, model, seed=seed,
+                                               self_correct=self_corr))
+    return sweep

@@ -15,12 +15,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..bench.harness import evaluate_candidate, make_task
+from ..bench.harness import make_task
 from ..bench.problems import Problem
+from ..exec import ParallelEvaluator, evaluate_candidate_task
 from ..hdl.testbench import TestbenchResult
 from ..llm.model import Generation, GenerationTask, SimulatedLLM
 from ..llm.prompts import Prompt, PromptStrategy
 from ..obs import get_tracer
+from ..service import LLMClient, resolve_client
 
 
 @dataclass
@@ -60,11 +62,19 @@ class AutoChipResult:
 
 
 class AutoChip:
-    """The tree-search generation loop."""
+    """The tree-search generation loop.
 
-    def __init__(self, llm: SimulatedLLM, config: AutoChipConfig | None = None):
+    ``jobs`` fans each round's candidate evaluations (independent,
+    CPU-bound testbench runs) over a worker pool; generation stays
+    sequential on the client, so statistics match the serial loop.
+    """
+
+    def __init__(self, llm: "SimulatedLLM | LLMClient",
+                 config: AutoChipConfig | None = None,
+                 jobs: int | str | None = None):
         self.llm = llm
         self.config = config or AutoChipConfig()
+        self.jobs = jobs
 
     def run(self, problem: Problem) -> AutoChipResult:
         cfg = self.config
@@ -84,7 +94,7 @@ class AutoChip:
             result.rounds_used = round_no
             with tracer.span("autochip.round", round_no=round_no,
                              k=cfg.k) as sp:
-                ranked: list[tuple[float, Generation, TestbenchResult]] = []
+                candidates: list[Generation] = []
                 for i in range(cfg.k):
                     if round_no == 1 or best_generation is None:
                         generation = self.llm.generate(
@@ -95,7 +105,12 @@ class AutoChip:
                             task, best_generation, feedback, cfg.temperature,
                             sample_index=(round_no - 1) * cfg.k + i)
                     result.generations += 1
-                    tb = evaluate_candidate(problem, generation.text)
+                    candidates.append(generation)
+                evaluations = ParallelEvaluator(self.jobs).map(
+                    evaluate_candidate_task,
+                    [(problem, g.text, 200_000) for g in candidates])
+                ranked: list[tuple[float, Generation, TestbenchResult]] = []
+                for generation, tb in zip(candidates, evaluations):
                     result.tool_evaluations += 1
                     score = tb.score if tb.compiled else -0.5
                     ranked.append((score, generation, tb))
@@ -125,13 +140,16 @@ class AutoChip:
         return result
 
 
-def run_autochip(problem: Problem, model: str = "gpt-4o", k: int = 4,
-                 depth: int = 3, seed: int = 0,
-                 temperature: float = 0.8) -> AutoChipResult:
-    """One-call AutoChip run."""
-    llm = SimulatedLLM(model, seed=seed)
+def run_autochip(problem: Problem,
+                 model: str | SimulatedLLM | LLMClient = "gpt-4o", *,
+                 k: int = 4, depth: int = 3, temperature: float = 0.8,
+                 seed: int = 0,
+                 jobs: int | str | None = None) -> AutoChipResult:
+    """One-call AutoChip run (unified flow signature)."""
+    llm = resolve_client(model, seed=seed)
     return AutoChip(llm, AutoChipConfig(k=k, depth=depth,
-                                        temperature=temperature)).run(problem)
+                                        temperature=temperature),
+                    jobs=jobs).run(problem)
 
 
 @dataclass
@@ -150,17 +168,20 @@ class BudgetComparison:
                 f"gain={self.feedback_gain:+.2f}")
 
 
-def compare_budgets(model: str, problems: list[Problem], budget: int = 6,
+def compare_budgets(model: str | SimulatedLLM | LLMClient,
+                    problems: list[Problem], budget: int = 6, *,
+                    temperature: float = 0.8,
                     seeds: tuple[int, ...] = (0, 1, 2),
-                    temperature: float = 0.8) -> BudgetComparison:
+                    jobs: int | str | None = None) -> BudgetComparison:
     """Same total generations spent two ways: all breadth vs all depth."""
     def run_mode(k: int, depth: int) -> float:
         wins = 0
         total = 0
         for seed in seeds:
-            llm = SimulatedLLM(model, seed=seed)
+            llm = resolve_client(model, seed=seed)
             chip = AutoChip(llm, AutoChipConfig(k=k, depth=depth,
-                                                temperature=temperature))
+                                                temperature=temperature),
+                            jobs=jobs)
             for problem in problems:
                 outcome = chip.run(problem)
                 wins += 1 if outcome.success else 0
@@ -169,4 +190,5 @@ def compare_budgets(model: str, problems: list[Problem], budget: int = 6,
 
     breadth = run_mode(k=budget, depth=1)
     depth = run_mode(k=1, depth=budget)
-    return BudgetComparison(model, budget, breadth, depth, depth - breadth)
+    name = model if isinstance(model, str) else model.profile.name
+    return BudgetComparison(name, budget, breadth, depth, depth - breadth)

@@ -17,9 +17,9 @@ from dataclasses import dataclass, field
 
 from ..bench.harness import evaluate_candidate, make_task
 from ..bench.problems import Problem
-from ..llm.chat import ChatSession
 from ..llm.model import SimulatedLLM
 from ..llm.prompts import PromptStrategy
+from ..service import LLMClient, resolve_client
 
 
 @dataclass
@@ -49,7 +49,8 @@ class ChipChatResult:
 class ChipChatSession:
     """Human-guided conversational design of one module."""
 
-    def __init__(self, llm: SimulatedLLM, max_model_turns: int = 8,
+    def __init__(self, llm: "SimulatedLLM | LLMClient",
+                 max_model_turns: int = 8,
                  temperature: float = 0.7):
         self.llm = llm
         self.max_model_turns = max_model_turns
@@ -57,9 +58,9 @@ class ChipChatSession:
 
     def run(self, problem: Problem) -> ChipChatResult:
         task = make_task(problem)
-        chat = ChatSession(self.llm,
-                           system="You are collaborating with an experienced "
-                                  "hardware designer on a tapeout.")
+        chat = self.llm.chat(system="You are collaborating with an "
+                                    "experienced hardware designer on a "
+                                    "tapeout.")
         transcript: list[ChipChatTurn] = []
         transcript.append(ChipChatTurn("designer", problem.spec))
 
@@ -118,12 +119,24 @@ class TapeoutReport:
                 f"mean human feedback turns: {self.mean_human_turns:.1f}")
 
 
-def run_chipchat_tapeout(problems: list[Problem], model: str = "gpt-4",
-                         seed: int = 0) -> TapeoutReport:
-    """Drive every block of a small 'tapeout' through Chip-Chat."""
-    report = TapeoutReport()
-    llm = SimulatedLLM(model, seed=seed)
+def run_chipchat_tapeout(problems: list[Problem],
+                         model: str | SimulatedLLM | LLMClient = "gpt-4", *,
+                         seed: int = 0,
+                         jobs: int | str | None = None) -> TapeoutReport:
+    """Drive every block of a small 'tapeout' through Chip-Chat.
+
+    Blocks are independent (each gets a fresh chat session), so a plain
+    profile name fans out over ``jobs`` workers; client instances are not
+    picklable and run serially.  Ordering follows ``problems`` either way.
+    """
+    if isinstance(model, str):
+        from ..exec import ParallelEvaluator, chipchat_task
+        cells = [(problem, model, seed) for problem in problems]
+        return TapeoutReport(
+            ParallelEvaluator(jobs).map(chipchat_task, cells))
+    llm = resolve_client(model, seed=seed)
     session = ChipChatSession(llm)
+    report = TapeoutReport()
     for problem in problems:
         report.results.append(session.run(problem))
     return report

@@ -27,6 +27,7 @@ from ..hdl.testbench import exercise_module
 from ..hls.cparser import cparse
 from ..hls.interp import CRuntimeError, Machine
 from ..llm.model import Generation, SimulatedLLM, _stable_seed
+from ..service import LLMClient, resolve_client
 from .autobench import _interface
 
 # Behavioural C models for the combinational benchmark problems.  In the
@@ -101,7 +102,8 @@ class HighLevelModel:
     faithful: bool           # introspection: did the LLM derive it correctly?
 
 
-def generate_highlevel_model(problem: Problem, llm: SimulatedLLM,
+def generate_highlevel_model(problem: Problem,
+                             llm: "SimulatedLLM | LLMClient",
                              seed: int = 0) -> HighLevelModel:
     """The LLM writes an untimed C model from the spec.
 
@@ -219,7 +221,7 @@ class GuidedDebugResult:
                 f"feedback)")
 
 
-def guided_debug(problem: Problem, llm: SimulatedLLM,
+def guided_debug(problem: Problem, llm: "SimulatedLLM | LLMClient",
                  use_crosscheck: bool = True, max_iterations: int = 4,
                  temperature: float = 0.9, seed: int = 0) -> GuidedDebugResult:
     """Generate RTL, then debug it against the high-level model (or plain
@@ -268,21 +270,30 @@ class GuidedDebugSweep:
         return sum(r.success for r in self.results) / len(self.results)
 
 
-def guided_debug_sweep(problems: list[Problem], model: str = "gpt-4",
-                       seeds: tuple[int, ...] = (0, 1, 2),
+def guided_debug_sweep(problems: list[Problem],
+                       model: str | SimulatedLLM | LLMClient = "gpt-4",
                        use_crosscheck: bool = True,
-                       max_iterations: int = 4, temperature: float = 0.9,
+                       max_iterations: int = 4, temperature: float = 0.9, *,
+                       seeds: tuple[int, ...] = (0, 1, 2),
                        jobs: int | str | None = None) -> GuidedDebugSweep:
     """Run :func:`guided_debug` over a problem/seed grid.
 
-    Each cell is an independent generate-and-repair loop, so the sweep fans
-    out over ``jobs`` workers (``REPRO_JOBS`` when unset); results keep the
-    (seed-major) serial ordering.
+    Each cell is an independent generate-and-repair loop, so with a plain
+    profile name the sweep fans out over ``jobs`` workers (``REPRO_JOBS``
+    when unset); client instances are not picklable and run serially.
+    Results keep the (seed-major) serial ordering either way.
     """
-    from ..exec import ParallelEvaluator, guided_debug_task
     payloads = [(problem, model, use_crosscheck, max_iterations,
                  temperature, seed)
                 for seed in seeds for problem in problems
                 if supports_crosscheck(problem) or not use_crosscheck]
-    results = ParallelEvaluator(jobs).map(guided_debug_task, payloads)
-    return GuidedDebugSweep(results)
+    if isinstance(model, str):
+        from ..exec import ParallelEvaluator, guided_debug_task
+        return GuidedDebugSweep(
+            ParallelEvaluator(jobs).map(guided_debug_task, payloads))
+    sweep = GuidedDebugSweep()
+    for problem, _, use_x, max_iters, temp, seed in payloads:
+        sweep.results.append(guided_debug(
+            problem, resolve_client(model, seed=seed), use_crosscheck=use_x,
+            max_iterations=max_iters, temperature=temp, seed=seed))
+    return sweep

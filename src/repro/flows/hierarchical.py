@@ -17,6 +17,7 @@ from ..bench.harness import evaluate_candidate, make_task
 from ..bench.problems import Problem
 from ..llm.model import SimulatedLLM
 from ..llm.prompts import Prompt, PromptStrategy
+from ..service import LLMClient, resolve_client
 
 
 @dataclass
@@ -33,11 +34,12 @@ class HierarchicalResult:
         return int(self.success) - int(self.direct_success)
 
 
-def run_hierarchical(problem: Problem, model: str = "cl-verilog-34b",
-                     seed: int = 0,
-                     temperature: float = 0.7) -> HierarchicalResult:
+def run_hierarchical(problem: Problem,
+                     model: str | SimulatedLLM | LLMClient = "cl-verilog-34b",
+                     temperature: float = 0.7, *,
+                     seed: int = 0) -> HierarchicalResult:
     """Hierarchical vs direct generation on one problem."""
-    llm = SimulatedLLM(model, seed=seed)
+    llm = resolve_client(model, seed=seed)
     task = make_task(problem)
     tokens_before = llm.usage.total_tokens
 
@@ -52,8 +54,8 @@ def run_hierarchical(problem: Problem, model: str = "cl-verilog-34b",
                               sample_index=1)
     direct_ok = evaluate_candidate(problem, direct_gen.text).passed
 
-    return HierarchicalResult(problem.problem_id, model, hier_ok, direct_ok,
-                              submodule_calls,
+    return HierarchicalResult(problem.problem_id, llm.profile.name, hier_ok,
+                              direct_ok, submodule_calls,
                               llm.usage.total_tokens - tokens_before)
 
 
@@ -75,10 +77,19 @@ class HierarchicalSweep:
         return sum(r.lift for r in self.results) / len(self.results)
 
 
-def hierarchical_sweep(problems: list[Problem], model: str = "cl-verilog-34b",
-                       seeds: tuple[int, ...] = (0, 1, 2, 3)) -> HierarchicalSweep:
+def hierarchical_sweep(problems: list[Problem],
+                       model: str | SimulatedLLM | LLMClient
+                       = "cl-verilog-34b", *,
+                       seeds: tuple[int, ...] = (0, 1, 2, 3),
+                       jobs: int | str | None = None) -> HierarchicalSweep:
+    """Hierarchical-vs-direct grid; fans out for plain profile names."""
+    cells = [(problem, model, seed)
+             for seed in seeds for problem in problems]
+    if isinstance(model, str):
+        from ..exec import ParallelEvaluator, hierarchical_task
+        return HierarchicalSweep(
+            ParallelEvaluator(jobs).map(hierarchical_task, cells))
     sweep = HierarchicalSweep()
-    for seed in seeds:
-        for problem in problems:
-            sweep.results.append(run_hierarchical(problem, model, seed=seed))
+    for problem, _, seed in cells:
+        sweep.results.append(run_hierarchical(problem, model, seed=seed))
     return sweep

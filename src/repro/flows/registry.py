@@ -1,0 +1,155 @@
+"""Flow registry: one catalogue of every paper flow and how to launch it.
+
+Each entry maps a stable flow name to its entry point, result type, and a
+uniform runner adapter so tooling (the ``python -m repro.flows`` CLI, the
+signature-conformance tests, sweep dashboards) can launch any flow without
+knowing its module.  Entry points follow the unified signature contract:
+``model`` accepts a profile name, a :class:`~repro.llm.model.SimulatedLLM`,
+or any :class:`~repro.service.LLMClient`; ``seed``/``seeds`` and ``jobs``
+are keyword-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..bench.problems import Problem
+from .assertgen import AssertionSweep, assertion_sweep
+from .autobench import AutoBenchSweep, autobench_sweep
+from .autochip import AutoChipResult, run_autochip
+from .chipchat import TapeoutReport, run_chipchat_tapeout
+from .crosscheck import GuidedDebugSweep, guided_debug_sweep
+from .hierarchical import HierarchicalSweep, hierarchical_sweep
+from .security import detection_sweep
+from .structured import StructuredSweep, run_structured_sweep
+from .vrank import VRankSweep, vrank_sweep
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One registered flow: where it lives and how to launch it."""
+
+    name: str
+    entry: Callable[..., Any]
+    result_type: type
+    summary: str
+    uses_model: bool = True
+    # Uniform launcher: (problems, model, seed, jobs) -> result.  Adapts
+    # per-flow signature quirks (single-problem flows, seed tuples, ...).
+    runner: Callable[[list[Problem], str, int, "int | str | None"],
+                     Any] | None = None
+
+    def run(self, problems: list[Problem], model: str = "gpt-4", *,
+            seed: int = 0, jobs: int | str | None = None) -> Any:
+        assert self.runner is not None
+        return self.runner(problems, model, seed, jobs)
+
+
+_REGISTRY: dict[str, FlowSpec] = {}
+
+
+def _register(spec: FlowSpec) -> None:
+    _REGISTRY[spec.name] = spec
+
+
+def get_flow(name: str) -> FlowSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown flow {name!r}; known flows: {known}") \
+            from None
+
+
+def list_flows() -> list[FlowSpec]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def run_flow(name: str, problems: list[Problem], model: str = "gpt-4", *,
+             seed: int = 0, jobs: int | str | None = None) -> Any:
+    """Launch a registered flow through its uniform runner adapter."""
+    return get_flow(name).run(problems, model, seed=seed, jobs=jobs)
+
+
+_register(FlowSpec(
+    name="autochip",
+    entry=run_autochip,
+    result_type=AutoChipResult,
+    summary="tree-search generation with tool-feedback rounds (Fig. 4)",
+    runner=lambda problems, model, seed, jobs: [
+        run_autochip(p, model, seed=seed, jobs=jobs) for p in problems],
+))
+
+_register(FlowSpec(
+    name="structured",
+    entry=run_structured_sweep,
+    result_type=StructuredSweep,
+    summary="feedback-driven protocol with human escalation ([10])",
+    runner=lambda problems, model, seed, jobs: run_structured_sweep(
+        model, problems, seeds=(seed,), jobs=jobs),
+))
+
+_register(FlowSpec(
+    name="vrank",
+    entry=vrank_sweep,
+    result_type=VRankSweep,
+    summary="self-consistency ranking of Verilog candidates",
+    runner=lambda problems, model, seed, jobs: vrank_sweep(
+        problems, model, seeds=(seed,), jobs=jobs),
+))
+
+_register(FlowSpec(
+    name="chipchat",
+    entry=run_chipchat_tapeout,
+    result_type=TapeoutReport,
+    summary="conversational co-design with a human in the loop",
+    runner=lambda problems, model, seed, jobs: run_chipchat_tapeout(
+        problems, model, seed=seed, jobs=jobs),
+))
+
+_register(FlowSpec(
+    name="crosscheck",
+    entry=guided_debug_sweep,
+    result_type=GuidedDebugSweep,
+    summary="high-level-model guided RTL debugging (Section VI)",
+    runner=lambda problems, model, seed, jobs: guided_debug_sweep(
+        problems, model, seeds=(seed,), jobs=jobs),
+))
+
+_register(FlowSpec(
+    name="hierarchical",
+    entry=hierarchical_sweep,
+    result_type=HierarchicalSweep,
+    summary="hierarchical decomposition vs direct generation",
+    runner=lambda problems, model, seed, jobs: hierarchical_sweep(
+        problems, model, seeds=(seed,), jobs=jobs),
+))
+
+_register(FlowSpec(
+    name="assertgen",
+    entry=assertion_sweep,
+    result_type=AssertionSweep,
+    summary="AssertLLM/AutoSVA assertion generation and refinement",
+    runner=lambda problems, model, seed, jobs: assertion_sweep(
+        problems, model, seeds=(seed,), jobs=jobs),
+))
+
+_register(FlowSpec(
+    name="autobench",
+    entry=autobench_sweep,
+    result_type=AutoBenchSweep,
+    summary="generated-testbench quality with self-correction",
+    runner=lambda problems, model, seed, jobs: autobench_sweep(
+        problems, model, seeds=(seed,), jobs=jobs),
+))
+
+_register(FlowSpec(
+    name="security",
+    entry=detection_sweep,
+    result_type=dict,
+    summary="hardware-trojan insertion and detector hierarchy",
+    uses_model=False,
+    runner=lambda problems, model, seed, jobs: detection_sweep(
+        problems, seeds=(seed,), jobs=jobs),
+))

@@ -157,8 +157,8 @@ def detect_with_cec(problem: Problem,
                            "exhaustive" if result.exhaustive else "random")
 
 
-def detection_sweep(problems: list[Problem], seeds=(0, 1, 2),
-                    cosim_vectors: int = 64,
+def detection_sweep(problems: list[Problem], cosim_vectors: int = 64, *,
+                    seeds: tuple[int, ...] = (0, 1, 2),
                     jobs: int | str | None = None) -> dict[str, float]:
     """Catch rate per detector across compromised designs.
 

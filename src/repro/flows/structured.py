@@ -21,6 +21,7 @@ from ..bench.harness import evaluate_candidate, make_task
 from ..bench.problems import Problem
 from ..llm.model import SimulatedLLM
 from ..llm.prompts import Prompt, PromptStrategy
+from ..service import LLMClient, resolve_client
 from .autobench import check_design, generate_testbench
 
 
@@ -60,7 +61,8 @@ def _human_fix_testbench(tb):
 class StructuredFeedbackFlow:
     """Design + testbench generation with tool feedback and human escalation."""
 
-    def __init__(self, llm: SimulatedLLM, max_tool_iterations: int = 4,
+    def __init__(self, llm: "SimulatedLLM | LLMClient",
+                 max_tool_iterations: int = 4,
                  human_budget: int = 3, temperature: float = 0.7):
         self.llm = llm
         self.max_tool_iterations = max_tool_iterations
@@ -158,12 +160,24 @@ class StructuredSweep:
         return sum(r.coverage_gap for r in self.results) / len(self.results)
 
 
-def run_structured_sweep(model: str, problems: list[Problem],
-                         seeds: tuple[int, ...] = (0, 1, 2)) -> StructuredSweep:
+def run_structured_sweep(model: str | SimulatedLLM | LLMClient,
+                         problems: list[Problem], *,
+                         seeds: tuple[int, ...] = (0, 1, 2),
+                         jobs: int | str | None = None) -> StructuredSweep:
+    """Run the structured flow over a problem/seed grid.
+
+    Cells are independent, so with a plain profile name they fan out over
+    ``jobs`` workers (``REPRO_JOBS`` when unset); client instances are not
+    picklable and run serially.  Result ordering is seed-major either way.
+    """
+    cells = [(problem, model, seed)
+             for seed in seeds for problem in problems]
+    if isinstance(model, str):
+        from ..exec import ParallelEvaluator, structured_flow_task
+        return StructuredSweep(
+            ParallelEvaluator(jobs).map(structured_flow_task, cells))
     sweep = StructuredSweep()
-    for seed in seeds:
-        llm = SimulatedLLM(model, seed=seed)
-        flow = StructuredFeedbackFlow(llm)
-        for problem in problems:
-            sweep.results.append(flow.run(problem, seed=seed))
+    for problem, _, seed in cells:
+        flow = StructuredFeedbackFlow(resolve_client(model, seed=seed))
+        sweep.results.append(flow.run(problem, seed=seed))
     return sweep

@@ -21,6 +21,7 @@ from ..exec import (ParallelEvaluator, evaluate_candidate_task,
                     exercise_module_task)
 from ..llm.model import Generation, SimulatedLLM
 from ..llm.prompts import Prompt
+from ..service import LLMClient, resolve_client
 
 
 @dataclass
@@ -59,9 +60,10 @@ def _make_vectors(problem: Problem, n: int, rng: random.Random,
     return vectors
 
 
-def vrank(problem: Problem, model: str | SimulatedLLM = "gpt-4",
+def vrank(problem: Problem,
+          model: str | SimulatedLLM | LLMClient = "gpt-4",
           n_candidates: int = 8, n_vectors: int = 12,
-          temperature: float = 0.9, seed: int = 0,
+          temperature: float = 0.9, *, seed: int = 0,
           jobs: int | str | None = None) -> VRankResult:
     """Run the full VRank flow on one problem.
 
@@ -69,8 +71,7 @@ def vrank(problem: Problem, model: str | SimulatedLLM = "gpt-4",
     the oracle pass@1 scoring fan out over ``jobs`` workers (``REPRO_JOBS``
     when unset) with deterministic, submission-ordered results.
     """
-    llm = model if isinstance(model, SimulatedLLM) else SimulatedLLM(model,
-                                                                     seed=seed)
+    llm = resolve_client(model, seed=seed)
     task = make_task(problem)
     prompt = Prompt(spec=problem.spec)
     rng = random.Random(seed * 7919 + 13)
@@ -151,9 +152,10 @@ class VRankSweep:
         return sum(r.any_passed for r in self.results) / len(self.results)
 
 
-def vrank_sweep(problems: list[Problem], model: str = "gpt-4",
-                n_candidates: int = 8, seeds: tuple[int, ...] = (0, 1, 2),
-                temperature: float = 0.9,
+def vrank_sweep(problems: list[Problem],
+                model: str | SimulatedLLM | LLMClient = "gpt-4",
+                n_candidates: int = 8, temperature: float = 0.9, *,
+                seeds: tuple[int, ...] = (0, 1, 2),
                 jobs: int | str | None = None) -> VRankSweep:
     sweep = VRankSweep()
     for seed in seeds:

@@ -32,7 +32,6 @@ with ``REPRO_HDL_CACHE=0``.
 from __future__ import annotations
 
 import hashlib
-import os
 import pickle
 import threading
 from collections import OrderedDict
@@ -133,15 +132,9 @@ class CompiledDesign:
     units: tuple[str, ...] = ()
 
 
-def _env_int(name: str, default: int) -> int:
-    try:
-        return int(os.environ.get(name, ""))
-    except ValueError:
-        return default
-
-
 def cache_enabled() -> bool:
-    return os.environ.get("REPRO_HDL_CACHE", "1") != "0"
+    from ..config import get_settings
+    return get_settings().hdl_cache_enabled
 
 
 class CompileCache:
@@ -150,11 +143,13 @@ class CompileCache:
     def __init__(self, parse_capacity: int | None = None,
                  design_capacity: int | None = None,
                  result_capacity: int | None = None):
-        cap = _env_int("REPRO_COMPILE_CACHE", 256)
+        from ..config import get_settings
+        settings = get_settings()
+        cap = settings.compile_cache_capacity
         self._parses = _LruBlobCache(parse_capacity or cap)
         self._designs = _LruBlobCache(design_capacity or cap)
         self._results = _LruBlobCache(
-            result_capacity or _env_int("REPRO_RESULT_CACHE", 1024))
+            result_capacity or settings.result_cache_capacity)
         # Live ASTs for internal linking only (never handed to callers):
         # avoids an unpickle on the design-miss path.  Bounded alongside
         # the parse LRU by periodic pruning.

@@ -100,6 +100,17 @@ class SimulatedLLM:
 
     # -- public API -----------------------------------------------------------
 
+    def derive(self, seed: int) -> "SimulatedLLM":
+        """A fresh client with the same profile but a new seed (the reseed
+        hook the agent's re-open path and sweep loops use; also part of the
+        :class:`repro.service.LLMClient` protocol)."""
+        return SimulatedLLM(self.profile, seed=seed)
+
+    def chat(self, system: str = ""):
+        """Open a conversational session bound to this client."""
+        from .chat import ChatSession
+        return ChatSession(self, system=system)
+
     def generate(self, task: GenerationTask, prompt: Prompt | None = None,
                  temperature: float = 0.7, sample_index: int = 0) -> Generation:
         """Produce one candidate solution for ``task``."""

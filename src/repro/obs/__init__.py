@@ -25,19 +25,19 @@ to stream a JSONL trace.
 
 from __future__ import annotations
 
-from .metrics import (Counter, Histogram, MetricsRegistry, get_metrics,
-                      reset_metrics)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      get_metrics, reset_metrics)
 from .sinks import InMemorySink, JsonlSink, NullSink, Sink, read_jsonl
 from .trace import (NOOP_SPAN, Span, TRACE_ENV, TRACE_FILE_ENV, Tracer,
                     get_tracer, install_tracer, reset_tracer,
                     tracing_enabled)
 
 __all__ = [
-    "Counter", "Histogram", "InMemorySink", "JsonlSink", "MetricsRegistry",
-    "NOOP_SPAN", "NullSink", "Sink", "Span", "TRACE_ENV", "TRACE_FILE_ENV",
-    "Tracer", "enabled", "flush_metrics", "get_metrics", "get_tracer",
-    "install_tracer", "read_jsonl", "reset_metrics", "reset_tracer", "span",
-    "tracing_enabled",
+    "Counter", "Gauge", "Histogram", "InMemorySink", "JsonlSink",
+    "MetricsRegistry", "NOOP_SPAN", "NullSink", "Sink", "Span", "TRACE_ENV",
+    "TRACE_FILE_ENV", "Tracer", "enabled", "flush_metrics", "get_metrics",
+    "get_tracer", "install_tracer", "read_jsonl", "reset_metrics",
+    "reset_tracer", "span", "tracing_enabled",
 ]
 
 
@@ -65,7 +65,8 @@ def flush_metrics(tracer: Tracer | None = None) -> dict | None:
         return None
     snapshot = get_metrics().snapshot()
     from ..hdl.compile import get_default_cache  # lazy: avoid import cycle
-    record = {"type": "metrics",
-              "gauges": get_default_cache().metrics_gauges(), **snapshot}
+    gauges = {**snapshot.pop("gauges", {}),
+              **get_default_cache().metrics_gauges()}
+    record = {"type": "metrics", "gauges": gauges, **snapshot}
     tracer.emit(record)
     return record

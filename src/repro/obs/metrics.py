@@ -69,11 +69,35 @@ class Histogram:
                 "max": round(self.max, 6)}
 
 
+class Gauge:
+    """Last-write-wins instantaneous value (queue depths, cache sizes)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float = 1.0) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
 class MetricsRegistry:
-    """Get-or-create registry of named counters and histograms."""
+    """Get-or-create registry of named counters, gauges and histograms."""
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
@@ -83,6 +107,13 @@ class MetricsRegistry:
             if c is None:
                 c = self._counters[name] = Counter(name)
             return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name)
+            return g
 
     def histogram(self, name: str) -> Histogram:
         with self._lock:
@@ -95,9 +126,11 @@ class MetricsRegistry:
         """JSON-serializable view of every registered metric."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
         return {
             "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
             "histograms": {n: h.as_dict()
                            for n, h in sorted(histograms.items())},
         }
@@ -105,6 +138,7 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._histograms.clear()
 
 

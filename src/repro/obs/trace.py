@@ -19,7 +19,6 @@ Design constraints:
 from __future__ import annotations
 
 import itertools
-import os
 import threading
 import time
 from contextlib import contextmanager
@@ -30,12 +29,11 @@ from .sinks import InMemorySink, JsonlSink, NullSink, Sink
 TRACE_ENV = "REPRO_TRACE"
 TRACE_FILE_ENV = "REPRO_TRACE_FILE"
 
-_FALSY = ("", "0", "false", "no", "off")
-
 
 def tracing_enabled() -> bool:
     """True when the environment opts into tracing (default: off)."""
-    return os.environ.get(TRACE_ENV, "0").strip().lower() not in _FALSY
+    from ..config import get_settings
+    return get_settings().trace_enabled
 
 
 @dataclass
@@ -153,9 +151,11 @@ _tracer_lock = threading.Lock()
 
 
 def _tracer_from_env() -> Tracer:
-    if not tracing_enabled():
+    from ..config import get_settings
+    settings = get_settings()
+    if not settings.trace_enabled:
         return Tracer(NullSink(), enabled=False)
-    path = os.environ.get(TRACE_FILE_ENV, "").strip()
+    path = settings.trace_file
     sink: Sink = JsonlSink(path) if path else InMemorySink()
     return Tracer(sink, enabled=True)
 

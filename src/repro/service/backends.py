@@ -1,0 +1,124 @@
+"""Deterministic fault-injecting backend wrapper for chaos testing.
+
+A real serving deployment sees rate limits, flaky workers and hard backend
+outages.  :class:`FlakyBackend` reproduces those failure modes *repeatably*
+around any :class:`~repro.service.client.LLMClient`: every fault decision
+derives from a seeded hash of the request identity **and the attempt
+number**, so
+
+* the same chaos run replays byte-identically across processes, and
+* a transiently-failing request can succeed on retry (the attempt number
+  moves the draw), which is what exercises the broker's backoff path.
+
+The wrapper is transparent on the success path — it delegates to the inner
+client, so fault-free runs produce the inner client's exact outputs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..llm.model import _stable_seed
+from .broker import BackendError, TransientBackendError
+
+
+class FlakyBackend:
+    """Wraps a client with seeded transient/latency/hard fault injection.
+
+    ``transient_rate`` — probability a call raises
+    :class:`TransientBackendError` (retryable);
+    ``hard_rate`` — probability a call raises :class:`BackendError`
+    (not retried; counts against the circuit breaker);
+    ``latency_rate``/``latency_s`` — probability and size of an injected
+    latency spike (via ``sleeper``, injectable for fast tests);
+    ``fail_first`` — deterministically fail the first N calls with hard
+    errors (drives the breaker open on schedule in tests).
+    """
+
+    def __init__(self, inner, *, transient_rate: float = 0.0,
+                 hard_rate: float = 0.0, latency_rate: float = 0.0,
+                 latency_s: float = 0.002, fail_first: int = 0,
+                 seed: int = 0,
+                 sleeper: Callable[[float], None] = time.sleep):
+        self.inner = inner
+        self.transient_rate = transient_rate
+        self.hard_rate = hard_rate
+        self.latency_rate = latency_rate
+        self.latency_s = latency_s
+        self.fail_first = fail_first
+        self.seed = seed
+        self.sleeper = sleeper
+        self.calls = 0
+        self.faults_injected = 0
+        self._attempts: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    # -- client surface (delegated) -------------------------------------------
+
+    @property
+    def profile(self):
+        return self.inner.profile
+
+    @property
+    def usage(self):
+        return self.inner.usage
+
+    def chat(self, system: str = ""):
+        return self.inner.chat(system)
+
+    def derive(self, seed: int) -> "FlakyBackend":
+        return FlakyBackend(self.inner.derive(seed),
+                            transient_rate=self.transient_rate,
+                            hard_rate=self.hard_rate,
+                            latency_rate=self.latency_rate,
+                            latency_s=self.latency_s,
+                            fail_first=self.fail_first, seed=self.seed,
+                            sleeper=self.sleeper)
+
+    def generate(self, task, prompt=None, temperature: float = 0.7,
+                 sample_index: int = 0):
+        self._maybe_fault("generate", task.task_id, sample_index,
+                          round(temperature, 3))
+        return self.inner.generate(task, prompt, temperature, sample_index)
+
+    def refine(self, task, previous, feedback: str, temperature: float = 0.7,
+               sample_index: int = 0):
+        self._maybe_fault("refine", task.task_id, sample_index,
+                          previous.style_seed, feedback)
+        return self.inner.refine(task, previous, feedback, temperature,
+                                 sample_index)
+
+    def apply_human_fix(self, task, previous):
+        self._maybe_fault("human_fix", task.task_id, previous.style_seed)
+        return self.inner.apply_human_fix(task, previous)
+
+    # -- fault machinery ------------------------------------------------------
+
+    def _maybe_fault(self, *identity: object) -> None:
+        key = _stable_seed(self.seed, *identity)
+        with self._lock:
+            self.calls += 1
+            call_no = self.calls
+            attempt = self._attempts.get(key, 0)
+            self._attempts[key] = attempt + 1
+        if call_no <= self.fail_first:
+            with self._lock:
+                self.faults_injected += 1
+            raise BackendError(
+                f"injected hard failure (call {call_no}/{self.fail_first})")
+        import random
+        rng = random.Random(_stable_seed(key, "fault", attempt))
+        roll = rng.random()
+        if roll < self.hard_rate:
+            with self._lock:
+                self.faults_injected += 1
+            raise BackendError("injected hard backend failure")
+        if roll < self.hard_rate + self.transient_rate:
+            with self._lock:
+                self.faults_injected += 1
+            raise TransientBackendError(
+                f"injected transient fault (attempt {attempt})")
+        if rng.random() < self.latency_rate:
+            self.sleeper(self.latency_s)

@@ -1,0 +1,99 @@
+"""Registry + CLI tests, including unified-signature conformance."""
+
+import inspect
+
+import pytest
+
+from repro.bench.problems import get_problem
+from repro.flows import FlowSpec, get_flow, list_flows, run_flow
+from repro.flows.__main__ import main as flows_cli
+
+
+class TestRegistry:
+    def test_every_paper_flow_registered(self):
+        names = {spec.name for spec in list_flows()}
+        assert names == {"autochip", "structured", "vrank", "chipchat",
+                         "crosscheck", "hierarchical", "assertgen",
+                         "autobench", "security"}
+
+    def test_unknown_flow_lists_known_names(self):
+        with pytest.raises(KeyError, match="known flows.*vrank"):
+            get_flow("nope")
+
+    def test_specs_are_complete(self):
+        for spec in list_flows():
+            assert isinstance(spec, FlowSpec)
+            assert callable(spec.entry)
+            assert isinstance(spec.result_type, type)
+            assert spec.summary
+            assert spec.runner is not None
+
+
+class TestSignatureConformance:
+    """Every registered entry point follows the unified flow API:
+    ``model`` accepts the str/client union, and ``seed``/``seeds`` and
+    ``jobs`` are keyword-only."""
+
+    def test_model_parameter_present_where_used(self):
+        for spec in list_flows():
+            params = inspect.signature(spec.entry).parameters
+            if spec.uses_model:
+                assert "model" in params, spec.name
+            else:
+                assert "model" not in params, spec.name
+
+    def test_seed_and_jobs_are_keyword_only(self):
+        for spec in list_flows():
+            params = inspect.signature(spec.entry).parameters
+            seed_params = [p for name, p in params.items()
+                           if name in ("seed", "seeds")]
+            assert seed_params, spec.name
+            for param in seed_params:
+                assert param.kind is inspect.Parameter.KEYWORD_ONLY, spec.name
+            assert "jobs" in params, spec.name
+            assert params["jobs"].kind is inspect.Parameter.KEYWORD_ONLY, \
+                spec.name
+
+    def test_model_accepts_client_instances(self):
+        """The annotation documents the union (str | SimulatedLLM |
+        LLMClient) everywhere a model parameter exists."""
+        for spec in list_flows():
+            if not spec.uses_model:
+                continue
+            params = inspect.signature(spec.entry).parameters
+            annotation = str(params["model"].annotation)
+            assert "LLMClient" in annotation, spec.name
+
+
+class TestRunFlow:
+    def test_run_flow_returns_declared_type(self):
+        problems = [get_problem("c1_mux2")]
+        result = run_flow("vrank", problems, "chatgpt-3.5", seed=0)
+        assert isinstance(result, get_flow("vrank").result_type)
+
+    def test_run_flow_without_model(self):
+        problems = [get_problem("c1_mux2")]
+        result = run_flow("security", problems, seed=0)
+        assert isinstance(result, dict)
+
+
+class TestCli:
+    def test_list_smoke(self, capsys):
+        assert flows_cli(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("autochip", "vrank", "security"):
+            assert name in out
+
+    def test_bare_invocation_lists(self, capsys):
+        assert flows_cli([]) == 0
+        assert "structured" in capsys.readouterr().out
+
+    def test_unknown_flow_is_an_error(self, capsys):
+        assert flows_cli(["bogus"]) == 2
+        assert "known flows" in capsys.readouterr().err
+
+    def test_runs_one_flow(self, capsys):
+        code = flows_cli(["hierarchical", "--model", "cl-verilog-34b",
+                          "--problems", "c1_mux2", "--seed", "1"])
+        assert code == 0
+        assert "c1_mux2" in capsys.readouterr().out
