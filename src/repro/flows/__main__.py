@@ -62,8 +62,12 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     if args.problems:
-        problems = [get_problem(pid.strip())
-                    for pid in args.problems.split(",") if pid.strip()]
+        try:
+            problems = [get_problem(pid.strip())
+                        for pid in args.problems.split(",") if pid.strip()]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
     else:
         problems = all_problems()
 

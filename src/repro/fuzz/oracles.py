@@ -1,0 +1,239 @@
+"""Differential oracles: five independent ways a fuzz case can disagree.
+
+Each oracle compares two implementations that the repo *claims* are
+equivalent (the PR 1–3 equivalence stories plus the core sim-vs-synth
+semantic contract).  An oracle returns an :class:`OracleReport`; a report
+with ``ok=False`` is a finding worth shrinking.
+
+(a) ``synth``     — event-driven simulation vs bit-blasted AIG evaluation
+(b) ``cache``     — cold-compile, warm-cache, and cache-free runs agree
+(c) ``parallel``  — ``ParallelEvaluator.map`` vs a serial comprehension
+(d) ``service``   — broker-mediated client vs direct ``SimulatedLLM``
+(e) ``roundtrip`` — parse → unparse → reparse is a structural fixpoint
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exec.parallel import ParallelEvaluator
+from ..exec.tasks import run_testbench_task
+from ..hdl import parse, run_testbench, strip_locations, unparse
+from ..hdl.compile import CompileCache
+from ..hdl.elaborate import elaborate
+from ..hdl.errors import HdlError
+from ..hdl.testbench import TestbenchResult, _simulate
+from ..llm.model import GenerationTask
+from ..service import resolve_client
+from ..synth.cec import check_against_simulation
+from ..synth.flatten import synthesize_source
+from ..synth.synthesize import SynthesisError
+from .grammar import FuzzCase
+
+MAX_SIM_TIME = 10_000
+
+
+def _error_slug(exc: BaseException) -> str:
+    """Stable fingerprint of an error: type plus its message shape.
+
+    Identifiers and numbers are stripped so the slug survives shrinking
+    (signal names change), but two *different* rejection reasons — say
+    "division not synthesizable" vs "no driver" — stay distinct, which
+    keeps the shrinker from wandering onto an unrelated error.
+    """
+    words = []
+    for token in str(exc).replace("'", " ").replace('"', " ").split():
+        if any(ch.isdigit() for ch in token):
+            continue
+        if token.isidentifier() and token.lower() != token:
+            continue
+        words.append(token.lower())
+        if len(words) >= 5:
+            break
+    return f"{type(exc).__name__}:{'-'.join(words)}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one oracle on one case."""
+
+    name: str
+    ok: bool
+    skipped: bool = False
+    kind: str = ""                # coarse failure class, stable under shrinking
+    detail: str = ""
+
+    @property
+    def divergence(self) -> bool:
+        return not self.ok and not self.skipped
+
+
+def _result_fields(result: TestbenchResult) -> tuple:
+    return (result.compiled, result.pass_count, result.fail_count,
+            result.error_count, result.finished, result.sim_time,
+            tuple(result.output), result.compile_error,
+            result.runtime_error)
+
+
+def _diff(label_a: str, a: tuple, label_b: str, b: tuple) -> str:
+    names = ("compiled", "pass", "fail", "error", "finished", "sim_time",
+             "output", "compile_error", "runtime_error")
+    parts = [f"{n}: {label_a}={x!r} {label_b}={y!r}"
+             for n, x, y in zip(names, a, b) if x != y]
+    return "; ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# (a) simulation vs synthesized netlist
+# --------------------------------------------------------------------------
+
+
+def oracle_synth(case: FuzzCase) -> OracleReport:
+    if case.sequential:
+        return OracleReport("synth", ok=True, skipped=True,
+                            detail="sequential case (combinational CEC only)")
+    try:
+        synth = synthesize_source(case.dut_source, case.dut_name)
+    except (SynthesisError, HdlError) as exc:
+        # The grammar stays inside the synthesizable subset, so a refusal
+        # to synthesize a generated design is itself a finding.
+        return OracleReport(
+            "synth", ok=False, kind=f"synth-error:{_error_slug(exc)}",
+            detail=f"synthesis rejected in-subset design: {exc}")
+    module = parse(case.dut_source).modules[case.dut_name]
+    try:
+        cec = check_against_simulation(synth, case.dut_source, module,
+                                       vectors=16, seed=case.seed % 65_521)
+    except HdlError as exc:
+        return OracleReport(
+            "synth", ok=False, kind=f"sim-error:{_error_slug(exc)}",
+            detail=f"simulation failed during CEC: {exc}")
+    if not cec.equivalent:
+        return OracleReport(
+            "synth", ok=False, kind="cec-mismatch",
+            detail=f"outputs {cec.mismatched_outputs} diverge on "
+                   f"{cec.counterexample} after {cec.vectors_checked} vectors")
+    return OracleReport("synth", ok=True)
+
+
+# --------------------------------------------------------------------------
+# (b) compile cache: cold vs warm vs cache-free
+# --------------------------------------------------------------------------
+
+
+def oracle_cache(case: FuzzCase) -> OracleReport:
+    cache = CompileCache()
+    cold = run_testbench(case.dut_source, case.top, max_time=MAX_SIM_TIME,
+                         seed=1, tb_source=case.tb_source, cache=cache)
+    warm = run_testbench(case.dut_source, case.top, max_time=MAX_SIM_TIME,
+                         seed=1, tb_source=case.tb_source, cache=cache)
+    # Cache-free reference: straight parse → elaborate → simulate.
+    try:
+        design = elaborate(parse(case.combined_source()), case.top)
+        ref = _simulate(design, MAX_SIM_TIME, 1)
+    except HdlError as exc:
+        ref = TestbenchResult(compiled=False, compile_error=str(exc))
+    f_cold, f_warm, f_ref = (_result_fields(r) for r in (cold, warm, ref))
+    if f_cold != f_warm:
+        return OracleReport("cache", ok=False, kind="cold-vs-warm",
+                            detail=_diff("cold", f_cold, "warm", f_warm))
+    if f_cold != f_ref:
+        return OracleReport("cache", ok=False, kind="cached-vs-direct",
+                            detail=_diff("cached", f_cold, "direct", f_ref))
+    return OracleReport("cache", ok=True)
+
+
+# --------------------------------------------------------------------------
+# (c) parallel vs serial evaluation
+# --------------------------------------------------------------------------
+
+
+def oracle_parallel(case: FuzzCase) -> OracleReport:
+    payloads = [(case.dut_source, case.top, MAX_SIM_TIME, seed,
+                 case.tb_source) for seed in (1, 2, 3)]
+    evaluator = ParallelEvaluator(jobs=2, mode="thread")
+    par = evaluator.map(run_testbench_task, payloads)
+    ser = [run_testbench_task(p) for p in payloads]
+    for i, (p, s) in enumerate(zip(par, ser)):
+        fp, fs = _result_fields(p), _result_fields(s)
+        if fp != fs:
+            return OracleReport(
+                "parallel", ok=False, kind="parallel-vs-serial",
+                detail=f"payload {i}: " + _diff("parallel", fp, "serial", fs))
+    return OracleReport("parallel", ok=True)
+
+
+# --------------------------------------------------------------------------
+# (d) broker-mediated vs direct model client
+# --------------------------------------------------------------------------
+
+
+def oracle_service(case: FuzzCase) -> OracleReport:
+    task = GenerationTask(task_id=f"fuzz_{case.campaign_seed}_{case.index}",
+                          spec="fuzz-generated design",
+                          reference_source=case.dut_source, complexity=2)
+    seed = case.seed % (2 ** 31)
+    direct = resolve_client("gpt-4", seed=seed, service=False)
+    brokered = resolve_client("gpt-4", seed=seed, service=True)
+    g_direct = direct.generate(task)
+    g_brokered = brokered.generate(task)
+    if g_direct.text != g_brokered.text or \
+            g_direct.faults != g_brokered.faults:
+        return OracleReport("service", ok=False, kind="generate-mismatch",
+                            detail="broker generate() differs from direct "
+                                   f"(faults {g_direct.fault_ids} vs "
+                                   f"{g_brokered.fault_ids})")
+    feedback = "FAIL: output mismatch at t=1"
+    r_direct = direct.refine(task, g_direct, feedback)
+    r_brokered = brokered.refine(task, g_brokered, feedback)
+    if r_direct.text != r_brokered.text:
+        return OracleReport("service", ok=False, kind="refine-mismatch",
+                            detail="broker refine() differs from direct")
+    return OracleReport("service", ok=True)
+
+
+# --------------------------------------------------------------------------
+# (e) parse → unparse → reparse round trip
+# --------------------------------------------------------------------------
+
+
+def oracle_roundtrip(case: FuzzCase) -> OracleReport:
+    for label, src in (("dut", case.dut_source), ("tb", case.tb_source)):
+        try:
+            first = strip_locations(parse(src))
+            text = unparse(first)
+            second = strip_locations(parse(text))
+        except HdlError as exc:
+            return OracleReport("roundtrip", ok=False, kind="reparse-error",
+                                detail=f"{label}: {exc}")
+        if first != second:
+            return OracleReport("roundtrip", ok=False, kind="ast-mismatch",
+                                detail=f"{label}: reparsed AST differs")
+        if unparse(second) != text:
+            return OracleReport("roundtrip", ok=False, kind="not-fixpoint",
+                                detail=f"{label}: unparse is not a fixpoint")
+    return OracleReport("roundtrip", ok=True)
+
+
+ORACLES: dict[str, object] = {
+    "synth": oracle_synth,
+    "cache": oracle_cache,
+    "parallel": oracle_parallel,
+    "service": oracle_service,
+    "roundtrip": oracle_roundtrip,
+}
+
+
+def run_oracles(case: FuzzCase,
+                names: tuple[str, ...] | None = None) -> list[OracleReport]:
+    """Run the selected (default: all) oracles against one case."""
+    selected = names or tuple(ORACLES)
+    reports = []
+    for name in selected:
+        try:
+            reports.append(ORACLES[name](case))
+        except Exception as exc:  # oracle itself crashed: still a finding
+            reports.append(OracleReport(
+                name, ok=False, kind=f"oracle-crash:{type(exc).__name__}",
+                detail=f"{type(exc).__name__}: {exc}"))
+    return reports

@@ -1,0 +1,197 @@
+"""Automatic shrinking of failing fuzz cases (delta debugging on the AST).
+
+Given a case and the oracle that flagged it, the shrinker repeatedly tries
+structure-removing rewrites — drop a module item, collapse a statement,
+replace a subexpression with one of its operands or a constant — and keeps
+any rewrite under which the *same class* of failure still reproduces.
+Greedy first-improvement with restart, bounded by a predicate-evaluation
+budget; every accepted candidate is strictly smaller (in rendered source
+length), so the loop terminates.
+
+Everything is derived from the AST generically: any dataclass field that
+holds an AST node (or a tuple of them) is a reduction site, so new grammar
+features shrink for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace as _dc_replace
+from typing import Callable, Iterator
+
+from ..hdl import ast as A
+from ..hdl import parse, unparse
+from .grammar import FuzzCase
+
+# Fields whose tuple elements may be deleted outright (vs only reduced).
+_DELETABLE = {
+    (A.Module, "assigns"), (A.Module, "always_blocks"),
+    (A.Module, "initial_blocks"), (A.Module, "nets"),
+    (A.Module, "instances"), (A.Module, "functions"),
+    (A.Module, "parameters"),
+    (A.Block, "stmts"), (A.Concat, "parts"), (A.Case, "items"),
+}
+
+_ZERO = A.Number(1, 0, 0, True)
+
+
+def _is_ast(value: object) -> bool:
+    return dataclasses.is_dataclass(value) and not isinstance(value, type)
+
+
+def _direct_reductions(node: object) -> Iterator[object]:
+    """Same-type-slot replacements for one node (no recursion)."""
+    if isinstance(node, A.If):
+        yield node.then
+        if node.other is not None:
+            yield node.other
+            yield A.If(node.cond, node.then, None)
+    elif isinstance(node, A.Case):
+        for item in node.items:
+            yield item.body
+    elif isinstance(node, (A.For, A.While, A.Repeat)):
+        yield node.body
+    elif isinstance(node, A.Delay) and node.then is not None:
+        yield node.then
+        yield A.Delay(node.amount, None)
+    elif isinstance(node, A.Block):
+        if len(node.stmts) == 1:
+            yield node.stmts[0]
+    elif isinstance(node, A.Binary):
+        yield node.left
+        yield node.right
+    elif isinstance(node, A.Ternary):
+        yield node.if_true
+        yield node.if_false
+    elif isinstance(node, A.Unary):
+        yield node.operand
+    elif isinstance(node, A.Replicate):
+        yield node.inner
+    elif isinstance(node, A.Concat):
+        yield from node.parts
+    elif isinstance(node, (A.Index, A.Slice)):
+        yield A.Identifier(node.target)
+    if isinstance(node, A.Expr) and not isinstance(
+            node, (A.Number, A.Identifier, A.StringLit)):
+        yield _ZERO
+
+
+def _variants(node: object) -> Iterator[object]:
+    """All one-step reductions of ``node``, outermost first."""
+    yield from _direct_reductions(node)
+    if not _is_ast(node):
+        return
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        if _is_ast(value):
+            for v in _variants(value):
+                yield _dc_replace(node, **{f.name: v})
+        elif isinstance(value, tuple):
+            deletable = (type(node), f.name) in _DELETABLE
+            for i, item in enumerate(value):
+                if deletable and len(value) > (
+                        1 if isinstance(node, (A.Concat, A.Case)) else 0):
+                    yield _dc_replace(
+                        node, **{f.name: value[:i] + value[i + 1:]})
+                if _is_ast(item):
+                    for v in _variants(item):
+                        yield _dc_replace(
+                            node, **{f.name: value[:i] + (v,) + value[i + 1:]})
+                elif isinstance(item, tuple):
+                    # Pairs like instance connections / param overrides.
+                    for j, sub in enumerate(item):
+                        if not _is_ast(sub):
+                            continue
+                        for v in _variants(sub):
+                            new_item = item[:j] + (v,) + item[j + 1:]
+                            yield _dc_replace(
+                                node, **{f.name: value[:i] + (new_item,)
+                                         + value[i + 1:]})
+
+
+def _source_variants(sf: A.SourceFile) -> Iterator[A.SourceFile]:
+    names = list(sf.modules)
+    for name in names:
+        if len(names) > 1:
+            out = A.SourceFile()
+            for other, mod in sf.modules.items():
+                if other != name:
+                    out.modules[other] = mod
+            yield out
+        for variant in _variants(sf.modules[name]):
+            if not isinstance(variant, A.Module):
+                continue
+            out = A.SourceFile()
+            for other, mod in sf.modules.items():
+                out.modules[other] = variant if other == name else mod
+            yield out
+
+
+@dataclasses.dataclass
+class ShrinkResult:
+    dut_source: str
+    tb_source: str
+    checks: int                  # predicate evaluations spent
+    rounds: int                  # accepted reductions
+    exhausted: bool              # budget ran out before a fixpoint
+
+
+def shrink_case(case: FuzzCase,
+                predicate: Callable[[str, str], bool],
+                max_checks: int = 400) -> ShrinkResult:
+    """Minimize ``(dut_source, tb_source)`` while ``predicate`` holds.
+
+    ``predicate(dut, tb)`` must return True when the original failure still
+    reproduces; it is expected to swallow compile errors of broken
+    candidates (returning False).  The original case must satisfy it.
+    """
+    current = [case.dut_source, case.tb_source]
+    checks = 0
+    rounds = 0
+    progress = True
+    while progress and checks < max_checks:
+        progress = False
+        for which in (0, 1):
+            try:
+                sf = parse(current[which])
+            except Exception:
+                continue
+            for variant in _source_variants(sf):
+                if checks >= max_checks:
+                    return ShrinkResult(current[0], current[1], checks,
+                                        rounds, exhausted=True)
+                try:
+                    text = unparse(variant)
+                except Exception:
+                    continue
+                if len(text) >= len(current[which]):
+                    continue
+                trial = list(current)
+                trial[which] = text
+                checks += 1
+                try:
+                    still_failing = predicate(trial[0], trial[1])
+                except Exception:
+                    still_failing = False
+                if still_failing:
+                    current = trial
+                    rounds += 1
+                    progress = True
+                    break
+            if progress:
+                break
+    return ShrinkResult(current[0], current[1], checks, rounds,
+                        exhausted=False)
+
+
+def oracle_predicate(case: FuzzCase, oracle, kind: str
+                     ) -> Callable[[str, str], bool]:
+    """Predicate: the given oracle still reports the same failure class."""
+
+    def check(dut_source: str, tb_source: str) -> bool:
+        trial = dataclasses.replace(case, dut_source=dut_source,
+                                    tb_source=tb_source)
+        report = oracle(trial)
+        return report.divergence and report.kind == kind
+
+    return check

@@ -18,6 +18,7 @@ from .parser import parse, parse_module
 from .simulator import Simulator
 from .testbench import (StimulusRunner, TestbenchResult, exercise_module,
                         run_testbench)
+from .unparse import strip_locations, unparse, unparse_module
 from .values import Logic, concat_all
 
 __all__ = [
@@ -27,5 +28,6 @@ __all__ = [
     "SourceFile", "StimulusRunner", "TestbenchResult", "compile_design",
     "concat_all", "elaborate", "exercise_module", "get_default_cache",
     "lint_module", "lint_source", "parse", "parse_module", "run_testbench",
-    "set_default_cache", "source_key", "tokenize",
+    "set_default_cache", "source_key", "strip_locations", "tokenize",
+    "unparse", "unparse_module",
 ]

@@ -119,6 +119,7 @@ def span_tree(records: Iterable[dict], max_depth: int = 6) -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    import json
     import sys
     args = list(sys.argv[1:] if argv is None else argv)
     if not args:
@@ -132,6 +133,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(span_tree(path))
     except BrokenPipeError:  # e.g. piped into head
         return 0
+    except OSError as exc:
+        print(f"error: cannot read trace '{path}': {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: '{path}' is not a JSONL trace: {exc}",
+              file=sys.stderr)
+        return 2
     return 0
 
 

@@ -1,0 +1,48 @@
+// fuzz finding: oracle=seed-corpus kind=hand-picked
+// campaign seed=0 case=4 top=tb dut=edge_top
+// replay: (hand-seeded edge case, not generated)
+// detail: five-deep instantiation chain — per-level renaming and port
+//   stitching must compose through elaboration and flattening, and the
+//   arithmetic must survive all five boundaries
+// expect: pass
+// synth: edge_top
+module edge_l4(input [7:0] a, output [7:0] y);
+  assign y = a + 8'h01;
+endmodule
+module edge_l3(input [7:0] a, output [7:0] y);
+  wire [7:0] t;
+  edge_l4 u0(.a(a), .y(t));
+  assign y = t ^ 8'h10;
+endmodule
+module edge_l2(input [7:0] a, output [7:0] y);
+  wire [7:0] t;
+  edge_l3 u0(.a(a), .y(t));
+  assign y = t + 8'h02;
+endmodule
+module edge_l1(input [7:0] a, output [7:0] y);
+  wire [7:0] t;
+  edge_l2 u0(.a(a), .y(t));
+  assign y = ~t;
+endmodule
+module edge_top(input [7:0] a, output [7:0] y);
+  wire [7:0] t;
+  edge_l1 u0(.a(a), .y(t));
+  assign y = t - 8'h01;
+endmodule
+// --- testbench ---
+module tb();
+  reg [7:0] a;
+  wire [7:0] y;
+  edge_top u0(.a(a), .y(y));
+  initial begin
+    a = 8'h20;
+    #1;
+    if (y == 8'hcb) $display("PASS: five-level hierarchy computes");
+    else $display("FAIL: y=%h", y);
+    a = 8'hff;
+    #1;
+    if (y == 8'hec) $display("PASS: wraparound through the chain");
+    else $display("FAIL: y=%h", y);
+    $finish;
+  end
+endmodule

@@ -1,0 +1,36 @@
+// fuzz finding: oracle=seed-corpus kind=hand-picked
+// campaign seed=0 case=2 top=tb dut=edge_dut
+// replay: (hand-seeded edge case, not generated)
+// detail: a combinational always block that writes and then reads its own
+//   temporary must settle in one delta cycle — signals written inside the
+//   block are excluded from its sensitivity, so it must not re-trigger
+//   itself into the runaway-step guard
+// expect: pass
+// synth: edge_dut
+module edge_dut(input [3:0] a, input [3:0] b, output reg [3:0] y);
+  reg [3:0] t;
+  always @* begin
+    t = a & b;
+    t = t | (a ^ b);
+    y = t;
+  end
+endmodule
+// --- testbench ---
+module tb();
+  reg [3:0] a;
+  reg [3:0] b;
+  wire [3:0] y;
+  edge_dut u0(.a(a), .b(b), .y(y));
+  initial begin
+    a = 4'b1100;
+    b = 4'b1010;
+    #1;
+    if (y == 4'b1110) $display("PASS: self-referencing comb block settles");
+    else $display("FAIL: y=%b", y);
+    a = 4'b0000;
+    #1;
+    if (y == 4'b1010) $display("PASS: re-evaluates on input change only");
+    else $display("FAIL: y=%b", y);
+    $finish;
+  end
+endmodule

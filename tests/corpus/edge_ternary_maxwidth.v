@@ -1,0 +1,36 @@
+// fuzz finding: oracle=seed-corpus kind=hand-picked
+// campaign seed=0 case=0 top=tb dut=edge_dut
+// replay: (hand-seeded edge case, not generated)
+// detail: ternary result width is the max of both branch widths; the
+//   narrow branch must zero-extend (regression for the PR 1 simulator
+//   ternary-width fix that aligned simulation with synthesis)
+// expect: pass
+// synth: edge_dut
+module edge_dut(input sel, input [3:0] a, output [7:0] y, output [8:0] z);
+  assign y = sel ? a : 8'hf0;
+  assign z = sel ? {1'b1, 8'h00} : (a + 4'hf);
+endmodule
+// --- testbench ---
+module tb();
+  reg sel;
+  reg [3:0] a;
+  wire [7:0] y;
+  wire [8:0] z;
+  edge_dut u0(.sel(sel), .a(a), .y(y), .z(z));
+  initial begin
+    sel = 1;
+    a = 4'hf;
+    #1;
+    if (y == 8'h0f) $display("PASS: narrow branch zero-extends to max width");
+    else $display("FAIL: y=%b", y);
+    if (z == 9'h100) $display("PASS: 9-bit branch selected whole");
+    else $display("FAIL: z=%b", z);
+    sel = 0;
+    #1;
+    if (y == 8'hf0) $display("PASS: wide branch passes through");
+    else $display("FAIL: y=%b", y);
+    if (z == 9'h01e) $display("PASS: add carry survives in 9-bit ternary");
+    else $display("FAIL: z=%b", z);
+    $finish;
+  end
+endmodule

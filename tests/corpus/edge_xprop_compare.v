@@ -1,0 +1,27 @@
+// fuzz finding: oracle=seed-corpus kind=hand-picked
+// campaign seed=0 case=3 top=tb dut=edge_dut
+// replay: (hand-seeded edge case, not generated)
+// detail: X propagation through comparison — comparing an uninitialized
+//   register yields X, an if() on that X must take the else path, and the
+//   X must survive a ternary select into the output display
+// expect: pass
+module edge_dut(input [3:0] a, output [3:0] y, output eq);
+  reg [3:0] u;
+  assign eq = (u == a);
+  assign y = (u == a) ? 4'h1 : u;
+endmodule
+// --- testbench ---
+module tb();
+  reg [3:0] a;
+  wire [3:0] y;
+  wire eq;
+  edge_dut u0(.a(a), .y(y), .eq(eq));
+  initial begin
+    a = 4'h0;
+    #1;
+    $display("eq=%b y=%b", eq, y);
+    if (eq == 1'b1) $display("FAIL: X compare reported true");
+    else $display("PASS: X compare did not report true");
+    $finish;
+  end
+endmodule

@@ -1,0 +1,79 @@
+"""Error-path coverage for the repo's CLIs.
+
+The happy paths are smoke-tested elsewhere; these tests pin down the
+failure contracts — exit code 2 plus a stderr message, never a raw
+traceback — for ``python -m repro.flows`` and ``python -m repro.obs.report``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.flows.__main__ import main as flows_main
+from repro.obs.report import main as report_main
+
+
+class TestFlowsCli:
+    def test_unknown_flow_name(self, capsys):
+        assert flows_main(["definitely-not-a-flow"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown flow" in err
+        assert "known flows" in err  # actionable: lists what exists
+
+    def test_bad_seed_value(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            flows_main(["vrank", "--seed", "not-an-int"])
+        assert excinfo.value.code == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_unknown_problem_id(self, capsys):
+        assert flows_main(["vrank", "--problems", "no_such_problem"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown problem" in err
+        assert "known" in err  # actionable: lists valid ids
+
+    def test_list_exits_zero(self, capsys):
+        assert flows_main(["--list"]) == 0
+        assert "vrank" in capsys.readouterr().out
+
+    def test_no_arguments_lists_flows(self, capsys):
+        assert flows_main([]) == 0
+        assert "vrank" in capsys.readouterr().out
+
+
+class TestObsReportCli:
+    def test_no_arguments_prints_usage(self, capsys):
+        assert report_main([]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+    def test_missing_trace_file(self, capsys):
+        assert report_main(["/nonexistent/trace.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read trace" in err
+
+    def test_malformed_jsonl(self, tmp_path, capsys):
+        bad = tmp_path / "trace.jsonl"
+        bad.write_text('{"type": "span", "name": "x"\nnot json at all\n')
+        assert report_main([str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "not a JSONL trace" in err
+
+    def test_directory_instead_of_file(self, tmp_path, capsys):
+        assert report_main([str(tmp_path)]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_valid_trace_renders(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        records = [
+            {"type": "span", "name": "fuzz.case", "span_id": 1,
+             "parent_id": None, "start_s": 0.0, "duration_s": 0.002},
+            {"type": "metrics", "counters": {"fuzz.cases": 1},
+             "histograms": {}, "gauges": {}},
+        ]
+        trace.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        assert report_main([str(trace), "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz.case" in out
+        assert "fuzz.cases" in out
