@@ -1,0 +1,146 @@
+"""Run-engine benchmark: concurrent generation feeding broker micro-batches.
+
+The engine's :class:`~repro.engine.generate.GenerationBatch` submits a
+round's ``k`` candidates before gathering, so a broker lane's linger window
+closes with more than one request in it.  This benchmark runs the same
+AutoChip sweep (``k`` >= 4) under ``REPRO_SERVICE=1`` two ways —
+``REPRO_GEN_CONCURRENCY=1`` (the pre-engine sequential-generate baseline,
+one lane round-trip per candidate) and the concurrent default — and
+records wall-clock plus the per-lane batch-size histogram in
+``BENCH_engine.json`` at the repo root.
+
+The two sweeps must agree candidate-for-candidate: concurrency is an
+execution detail (see DESIGN.md section 8), so the only deltas allowed are
+wall-clock and batch shape.
+
+Run standalone (``python benchmarks/bench_engine.py``) or via pytest
+(``pytest benchmarks/bench_engine.py -s``).  ``REPRO_FULL_EVAL=1`` raises
+the sweep size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _util import full_eval, print_table  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.bench import all_problems  # noqa: E402
+from repro.flows.autochip import run_autochip  # noqa: E402
+from repro.hdl import CompileCache, set_default_cache  # noqa: E402
+from repro.service import reset_default_broker  # noqa: E402
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_OUT_PATH = os.path.join(_REPO_ROOT, "BENCH_engine.json")
+
+_MODEL = "chatgpt-3.5"
+
+
+def _sweep(problems, seeds, k: int, depth: int) -> list:
+    results = []
+    for seed in seeds:
+        for problem in problems:
+            results.append(run_autochip(problem, _MODEL, k=k, depth=depth,
+                                        temperature=0.8, seed=seed))
+    return results
+
+
+def _stats(results) -> list:
+    return [(r.problem_id, r.success, round(r.best_score, 6),
+             r.rounds_used, r.generations) for r in results]
+
+
+def _run_mode(concurrency: int, problems, seeds, k, depth) -> dict:
+    os.environ["REPRO_GEN_CONCURRENCY"] = str(concurrency)
+    reset_default_broker()
+    obs.reset_metrics()
+    set_default_cache(CompileCache())
+    t0 = time.perf_counter()
+    results = _sweep(problems, seeds, k, depth)
+    elapsed = time.perf_counter() - t0
+    hist = obs.get_metrics().histogram(f"service.batch_size.{_MODEL}")
+    reset_default_broker()
+    return {"concurrency": concurrency,
+            "wall_s": round(elapsed, 3),
+            "batches": hist.count,
+            "mean_batch_size": round(hist.mean, 3),
+            "max_batch_size": int(hist.max) if hist.count else 0,
+            "stats": _stats(results)}
+
+
+def bench_generation_concurrency() -> dict:
+    """Sequential vs concurrent candidate generation, brokered both ways."""
+    problems = all_problems()[:4] if full_eval() else all_problems()[:2]
+    seeds = (0, 1, 2) if full_eval() else (0, 1)
+    k = 8 if full_eval() else 6
+    depth = 2
+
+    saved = {name: os.environ.get(name)
+             for name in ("REPRO_SERVICE", "REPRO_GEN_CONCURRENCY")}
+    os.environ["REPRO_SERVICE"] = "1"
+    try:
+        sequential = _run_mode(1, problems, seeds, k, depth)
+        concurrent = _run_mode(8, problems, seeds, k, depth)
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        reset_default_broker()
+        set_default_cache(CompileCache())
+
+    identical = sequential.pop("stats") == concurrent.pop("stats")
+    speedup = (sequential["wall_s"] / concurrent["wall_s"]
+               if concurrent["wall_s"] else 0.0)
+    return {"model": _MODEL, "k": k, "depth": depth,
+            "cells": len(problems) * len(seeds),
+            "sequential": sequential,
+            "concurrent": concurrent,
+            "speedup": round(speedup, 2),
+            "identical_stats": identical}
+
+
+def main() -> dict:
+    data = {"cpus": os.cpu_count(),
+            "generation_concurrency": bench_generation_concurrency()}
+    with open(_OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    gc = data["generation_concurrency"]
+    print_table(
+        "E-engine: autochip sweep, sequential vs concurrent generation",
+        ["mode", "wall_s", "batches", "mean_batch", "max_batch"],
+        [["sequential", gc["sequential"]["wall_s"],
+          gc["sequential"]["batches"],
+          gc["sequential"]["mean_batch_size"],
+          gc["sequential"]["max_batch_size"]],
+         ["concurrent", gc["concurrent"]["wall_s"],
+          gc["concurrent"]["batches"],
+          gc["concurrent"]["mean_batch_size"],
+          gc["concurrent"]["max_batch_size"]]])
+    print_table("E-engine: summary",
+                ["k", "depth", "cells", "speedup", "identical"],
+                [[gc["k"], gc["depth"], gc["cells"], gc["speedup"],
+                  gc["identical_stats"]]])
+    return data
+
+
+def test_engine_concurrency(benchmark=None):
+    gc = main()["generation_concurrency"]
+    # Concurrency must not change a single statistic...
+    assert gc["identical_stats"]
+    # ...while the lane actually coalesces (sequential submission pins the
+    # histogram at 1.0 by construction)...
+    assert gc["sequential"]["mean_batch_size"] <= 1.0
+    assert gc["concurrent"]["mean_batch_size"] > 1.0
+    # ...and fewer lane round-trips means less linger: wall-clock improves.
+    assert gc["speedup"] >= 1.0
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ ENV_SERVICE_BATCH = "REPRO_SERVICE_BATCH"
 ENV_SERVICE_QUEUE = "REPRO_SERVICE_QUEUE"
 ENV_SERVICE_RETRIES = "REPRO_SERVICE_RETRIES"
 ENV_FULL_EVAL = "REPRO_FULL_EVAL"
+ENV_GEN_CONCURRENCY = "REPRO_GEN_CONCURRENCY"
 
 _FALSY = ("", "0", "false", "no", "off")
 
@@ -153,6 +154,19 @@ class Settings:
     def service_max_retries(self) -> int:
         return max(0, self.env_int(ENV_SERVICE_RETRIES, 3))
 
+    # -- run engine ----------------------------------------------------------
+
+    @property
+    def gen_concurrency(self) -> int:
+        """In-flight candidate generations per :class:`GenerationBatch`.
+
+        Values > 1 let broker-backed clients submit a round's candidates
+        concurrently (so service lanes coalesce micro-batches); ``1``
+        forces the sequential path.  Either way results are byte-identical
+        — generation is keyed by ``(task, temperature, sample_index)``.
+        """
+        return max(1, self.env_int(ENV_GEN_CONCURRENCY, 8))
+
     # -- benchmarks ----------------------------------------------------------
 
     @property
@@ -172,6 +186,7 @@ class Settings:
             "service_batch_size": self.service_batch_size,
             "service_queue_capacity": self.service_queue_capacity,
             "service_max_retries": self.service_max_retries,
+            "gen_concurrency": self.gen_concurrency,
             "full_eval": self.full_eval,
         }
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..bench.problems import Problem
+from ..engine import Budget, LoopKernel, RoundState, RunRecord
 from ..llm.model import SimulatedLLM
 from ..obs import flush_metrics, get_tracer
 from ..service import LLMClient, resolve_client
@@ -34,8 +35,8 @@ class AgentRunReport:
     model: str
     state: DesignState
     success: bool
-    reopens: int
-    total_tokens: int
+    reopens: int = field(default=0, kw_only=True)
+    total_tokens: int = field(default=0, kw_only=True)
 
     def stage_table(self) -> list[tuple[str, bool, str]]:
         return [(r.stage, r.success, r.detail) for r in self.state.history]
@@ -56,7 +57,8 @@ class EdaAgent:
         self.seed = seed
         self.pipeline = pipeline
 
-    def run(self, problem: Problem) -> AgentRunReport:
+    def run(self, problem: Problem,
+            budget: Budget | None = None) -> AgentRunReport:
         cfg = self.config
         llm = resolve_client(cfg.model, seed=self.seed)
         ctx = StageContext(llm=llm, problem=problem, seed=self.seed,
@@ -64,47 +66,67 @@ class EdaAgent:
                            autochip_k=cfg.autochip_k,
                            autochip_depth=cfg.autochip_depth)
         state = DesignState(spec=problem.spec)
-        reopens = 0
+        record = RunRecord(flow="agent", problem_id=problem.problem_id,
+                           model=llm.profile.name)
+        tokens_before = llm.usage.total_tokens
+        st = {"index": 0, "reopens": 0}
+        attempts: dict[str, int] = {}
 
         tracer = get_tracer()
         with tracer.span("agent.run", problem=problem.problem_id,
                          model=llm.profile.name, seed=self.seed,
                          feedback=cfg.enable_feedback) as run_span:
-            index = 0
-            attempts: dict[str, int] = {}
-            while index < len(self.pipeline):
-                stage = self.pipeline[index]
+
+            # The kernel hosts the stage loop without a per-round span
+            # (span_name=None): the per-stage spans below must stay direct
+            # children of agent.run.
+            def stop(kstate: RoundState) -> str | None:
+                return "complete" if st["index"] >= len(self.pipeline) \
+                    else None
+
+            def step(kstate: RoundState, _sp) -> str | None:
+                stage = self.pipeline[st["index"]]
                 attempts[stage.name] = attempts.get(stage.name, 0) + 1
                 with tracer.span(f"stage.{stage.name}",
                                  attempt=attempts[stage.name]) as sp:
                     ok = stage.run(state, ctx)
                     sp.set(success=ok)
                 if ok:
-                    index += 1
-                    continue
+                    st["index"] += 1
+                    return None
                 # Cross-stage feedback: a verification or static-analysis
                 # failure re-opens RTL generation with a fresh seed (the
                 # accumulated design state keeps the evidence).
-                if (cfg.enable_feedback and reopens < cfg.max_reopens
-                        and stage.name in ("static_analysis", "verification")):
-                    reopens += 1
+                if (cfg.enable_feedback and st["reopens"] < cfg.max_reopens
+                        and stage.name in ("static_analysis",
+                                           "verification")):
+                    st["reopens"] += 1
                     ctx.seed += 1000
                     ctx.llm = ctx.llm.derive(ctx.seed)
-                    index = next(i for i, s in enumerate(self.pipeline)
-                                 if s.name == "rtl_generation")
-                    continue
+                    st["index"] = next(i for i, s
+                                       in enumerate(self.pipeline)
+                                       if s.name == "rtl_generation")
+                    return None
                 # Hard failure: record remaining stages as skipped and stop.
-                break
+                return "stage-failure"
 
-            success = (index >= len(self.pipeline)
+            LoopKernel(step=step, stop=stop, record=record, budget=budget,
+                       span_name=None).run()
+
+            reopens = st["reopens"]
+            success = (st["index"] >= len(self.pipeline)
                        and all(r.stage != "verification" or r.success
                                for r in state.history[-len(self.pipeline):]))
             run_span.set(success=success and state.verified, reopens=reopens,
                          tokens=llm.usage.total_tokens)
         flush_metrics(tracer)
-        return AgentRunReport(problem.problem_id, llm.profile.name, state,
-                              success and state.verified, reopens,
-                              llm.usage.total_tokens)
+        record.charge_tokens(llm.usage.total_tokens - tokens_before)
+        report = AgentRunReport(problem.problem_id, llm.profile.name, state,
+                                success and state.verified,
+                                reopens=reopens,
+                                total_tokens=llm.usage.total_tokens)
+        report.run_record = record
+        return report
 
 
 @dataclass
@@ -143,8 +165,8 @@ def run_agent_sweep(problems: list[Problem],
     cells = [(problem, model, enable_feedback, seed)
              for seed in seeds for problem in problems]
     if isinstance(model, str):
-        from ..exec import ParallelEvaluator, agent_run_task
-        return AgentSweep(ParallelEvaluator(jobs).map(agent_run_task, cells))
+        from ..exec import SweepScheduler, agent_run_task
+        return AgentSweep(SweepScheduler(jobs).map(agent_run_task, cells))
     sweep = AgentSweep()
     for problem, _, _, seed in cells:
         agent = EdaAgent(AgentConfig(model=model,

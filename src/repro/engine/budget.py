@@ -1,0 +1,75 @@
+"""Run budgets: token / generation / evaluation / round / wall-clock limits.
+
+Every paper loop burned whatever it was configured to burn; a production
+deployment needs the opposite contract — "spend at most this much, then
+stop and return the best so far".  :class:`Budget` is that contract, one
+object shared by every flow the :mod:`repro.engine` kernel hosts.
+
+Budgets are *checked between rounds*: a round that has started always
+finishes, so enabling a budget can only truncate a run early, never change
+what any individual round computes.  With every limit unset (the default)
+the kernel's behaviour is byte-identical to the unbudgeted loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .record import RunRecord
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Per-run spending limits, all optional.
+
+    * ``max_tokens`` — total prompt+completion tokens charged to the run;
+    * ``max_generations`` — model candidates sampled;
+    * ``max_evals`` — EDA-tool evaluations (testbench runs, cosims);
+    * ``max_rounds`` — loop iterations;
+    * ``deadline_s`` — wall-clock seconds from the first round.
+
+    The wall-clock deadline is inherently non-deterministic; the other
+    limits are pure functions of the run's counters, so budgeted runs
+    replay exactly.
+    """
+
+    max_tokens: int | None = None
+    max_generations: int | None = None
+    max_evals: int | None = None
+    max_rounds: int | None = None
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value is not None and value <= 0:
+                raise ValueError(
+                    f"budget {f.name} must be positive, got {value!r}")
+
+    @property
+    def unlimited(self) -> bool:
+        return all(getattr(self, f.name) is None for f in fields(self))
+
+    def exhausted(self, record: "RunRecord",
+                  elapsed_s: float = 0.0) -> str | None:
+        """The first exhausted limit as a ``budget:<name>`` reason, else
+        ``None``.  Checked by the kernel before each round."""
+        if self.max_rounds is not None and record.rounds_used >= self.max_rounds:
+            return "budget:rounds"
+        if self.max_tokens is not None and record.total_tokens >= self.max_tokens:
+            return "budget:tokens"
+        if self.max_generations is not None \
+                and record.generations >= self.max_generations:
+            return "budget:generations"
+        if self.max_evals is not None \
+                and record.tool_evaluations >= self.max_evals:
+            return "budget:evals"
+        if self.deadline_s is not None and elapsed_s >= self.deadline_s:
+            return "budget:deadline"
+        return None
+
+
+#: A budget with no limits — the kernel default.
+UNLIMITED = Budget()

@@ -1,0 +1,131 @@
+"""Concurrent candidate generation: the seam that feeds broker micro-batches.
+
+Every flow loop samples ``k`` candidates per round.  Before the engine,
+each call blocked on the broker individually, so a lane's linger window
+always expired with exactly one request in it and the micro-batching built
+in the service layer never engaged.  :class:`GenerationBatch` fixes the
+submission side: model calls are *submitted* first (up to
+``REPRO_GEN_CONCURRENCY`` in flight) and *gathered* afterwards, so
+co-submitted requests coalesce in the lane.
+
+Determinism: a backend call is a pure function of its arguments — the
+request key is ``(task, temperature, sample_index)`` plus the call kind —
+and usage accounting is commutative, so gathered results are byte-identical
+to the sequential loop regardless of how the lane batches them.  Clients
+without a ``submit_*`` seam (a bare :class:`~repro.llm.model.SimulatedLLM`,
+any third-party :class:`~repro.service.LLMClient`) execute eagerly in
+submission order — the deterministic sequential fallback.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from typing import TYPE_CHECKING
+
+from ..config import get_settings
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..llm.model import Generation, GenerationTask
+    from ..llm.prompts import Prompt
+
+
+class GenerationBatch:
+    """Submit ``generate``/``refine``/``human_fix`` calls, gather in order.
+
+    Usage::
+
+        batch = GenerationBatch(client)
+        for i in range(k):
+            batch.generate(task, prompt, temperature, sample_index=i)
+        candidates = batch.gather()     # submission order
+
+    ``concurrency`` bounds in-flight submissions (default:
+    ``REPRO_GEN_CONCURRENCY``); ``1`` forces the sequential path even for
+    broker-backed clients.
+    """
+
+    def __init__(self, client, concurrency: int | None = None):
+        if concurrency is None:
+            concurrency = get_settings().gen_concurrency
+        self.client = client
+        self.concurrency = max(1, int(concurrency))
+        self._slots: list = []          # Future | Generation, submission order
+        self._concurrent = (self.concurrency > 1
+                            and hasattr(client, "submit_generate"))
+
+    # -- submission -----------------------------------------------------------
+
+    def generate(self, task: "GenerationTask", prompt: "Prompt | None" = None,
+                 temperature: float = 0.7, sample_index: int = 0) -> None:
+        self._push("generate", (task, prompt, temperature, sample_index))
+
+    def refine(self, task: "GenerationTask", previous: "Generation",
+               feedback: str, temperature: float = 0.7,
+               sample_index: int = 0) -> None:
+        self._push("refine", (task, previous, feedback, temperature,
+                              sample_index))
+
+    def human_fix(self, task: "GenerationTask",
+                  previous: "Generation") -> None:
+        self._push("human_fix", (task, previous))
+
+    def _push(self, kind: str, args: tuple) -> None:
+        if not self._concurrent:
+            method = {"generate": "generate", "refine": "refine",
+                      "human_fix": "apply_human_fix"}[kind]
+            self._slots.append(getattr(self.client, method)(*args))
+            return
+        self._throttle()
+        submit = {"generate": "submit_generate", "refine": "submit_refine",
+                  "human_fix": "submit_human_fix"}[kind]
+        self._slots.append(getattr(self.client, submit)(*args))
+
+    def _throttle(self) -> None:
+        """Block on the oldest unresolved future once the in-flight window
+        is full, so a huge ``k`` cannot flood (and shed from) a lane."""
+        pending = [s for s in self._slots
+                   if isinstance(s, Future) and not s.done()]
+        if len(pending) >= self.concurrency:
+            pending[0].result()
+
+    # -- collection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def gather(self) -> list:
+        """Results in submission order; clears the batch for reuse."""
+        out = [slot.result() if isinstance(slot, Future) else slot
+               for slot in self._slots]
+        self._slots = []
+        return out
+
+
+def generate_many(client, task, prompt=None, temperature: float = 0.7,
+                  sample_indices=(0,), concurrency: int | None = None) -> list:
+    """Free-function form: ``k`` generations for ``sample_indices``.
+
+    Prefers the client's own ``generate_many`` (part of the
+    :class:`~repro.service.LLMClient` protocol); otherwise builds a
+    :class:`GenerationBatch`.
+    """
+    many = getattr(client, "generate_many", None)
+    if many is not None:
+        return many(task, prompt, temperature, sample_indices=sample_indices)
+    batch = GenerationBatch(client, concurrency)
+    for i in sample_indices:
+        batch.generate(task, prompt, temperature, sample_index=i)
+    return batch.gather()
+
+
+def refine_many(client, task, previous, feedback, temperature: float = 0.7,
+                sample_indices=(0,), concurrency: int | None = None) -> list:
+    """Free-function form: ``k`` refinements of one candidate."""
+    many = getattr(client, "refine_many", None)
+    if many is not None:
+        return many(task, previous, feedback, temperature,
+                    sample_indices=sample_indices)
+    batch = GenerationBatch(client, concurrency)
+    for i in sample_indices:
+        batch.refine(task, previous, feedback, temperature, sample_index=i)
+    return batch.gather()

@@ -1,0 +1,54 @@
+"""The unified run record: one ledger for every engine-hosted loop.
+
+Before the engine, each flow kept its own ad-hoc counters (AutoChip's
+``generations``/``tool_evaluations``/``rounds``, the structured flow's
+``tool_iterations``, the SLT loop's ``snippets_generated``, ...).
+:class:`RunRecord` subsumes them: the kernel maintains one record per run
+and each flow's public result dataclass is a thin view over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RoundLog:
+    """One loop round: candidate scores, the round winner, and the feedback
+    the round's candidates were conditioned on (truncated for display)."""
+
+    round_no: int
+    scores: list[float]
+    best_score: float
+    feedback_used: str
+
+
+@dataclass
+class RunRecord:
+    """Counters and logs for one engine run.
+
+    ``stop_reason`` is the engine-level reason the loop ended (``"passed"``,
+    ``"rounds"``, ``"budget:tokens"``, a flow-specific reason, ...);
+    ``budget_exhausted`` carries the budget clause when that is what ended
+    the run, so callers can distinguish convergence from truncation.
+    """
+
+    flow: str = "engine"
+    problem_id: str = ""
+    model: str = ""
+    rounds_used: int = 0
+    generations: int = 0
+    tool_evaluations: int = 0
+    total_tokens: int = 0
+    stop_reason: str = ""
+    budget_exhausted: str = ""
+    rounds: list[RoundLog] = field(default_factory=list)
+
+    def charge_tokens(self, tokens: int) -> None:
+        self.total_tokens += tokens
+
+    def summary(self) -> str:
+        return (f"{self.flow}:{self.problem_id or '-'} [{self.model or '-'}] "
+                f"rounds={self.rounds_used} generations={self.generations} "
+                f"evals={self.tool_evaluations} tokens={self.total_tokens} "
+                f"stop={self.stop_reason or '-'}")

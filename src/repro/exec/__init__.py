@@ -8,18 +8,20 @@ environment knob.  See :mod:`repro.exec.parallel`.
 
 from .parallel import (EvaluationTimeout, JOBS_ENV, ParallelEvaluator,
                        parallel_map, resolve_jobs)
-from .tasks import (agent_run_task, assertion_quality_task, chipchat_task,
-                    detect_trojan_task, evaluate_candidate_task,
-                    exercise_module_task, guided_debug_task,
-                    hierarchical_task, run_testbench_task,
+from .scheduler import SweepScheduler, sweep_map
+from .tasks import (agent_run_task, assertion_quality_task,
+                    autochip_budget_task, chipchat_task, detect_trojan_task,
+                    evaluate_candidate_task, exercise_module_task,
+                    guided_debug_task, hierarchical_task, run_testbench_task,
                     structured_flow_task, testbench_quality_task,
-                    timed_out_testbench)
+                    timed_out_testbench, vrank_cell_task)
 
 __all__ = [
-    "EvaluationTimeout", "JOBS_ENV", "ParallelEvaluator", "agent_run_task",
-    "assertion_quality_task", "chipchat_task", "detect_trojan_task",
-    "evaluate_candidate_task", "exercise_module_task", "guided_debug_task",
-    "hierarchical_task", "parallel_map", "resolve_jobs",
-    "run_testbench_task", "structured_flow_task", "testbench_quality_task",
-    "timed_out_testbench",
+    "EvaluationTimeout", "JOBS_ENV", "ParallelEvaluator", "SweepScheduler",
+    "agent_run_task", "assertion_quality_task", "autochip_budget_task",
+    "chipchat_task", "detect_trojan_task", "evaluate_candidate_task",
+    "exercise_module_task", "guided_debug_task", "hierarchical_task",
+    "parallel_map", "resolve_jobs", "run_testbench_task",
+    "structured_flow_task", "sweep_map", "testbench_quality_task",
+    "timed_out_testbench", "vrank_cell_task",
 ]

@@ -1,0 +1,74 @@
+"""Sweep scheduler: pipelined generation + evaluation across sweep cells.
+
+A sweep is a grid of independent runs — ``problems × seeds`` (or budgets,
+models, mutations).  Each cell alternates between *generation* (model
+calls, latency-bound, ideally coalesced into broker micro-batches) and
+*evaluation* (tool calls, CPU-bound, ideally spread across cores).  A
+serial sweep interleaves the two phases one cell at a time, so neither
+resource is ever saturated.
+
+:class:`SweepScheduler` schedules whole cells concurrently and picks the
+worker flavour by where the model calls run:
+
+* with the service broker enabled (``REPRO_SERVICE=1``) cells run on
+  **threads**: every cell's generations land on the shared in-process
+  broker lanes, so concurrent cells coalesce micro-batches with each
+  other while other cells' tool evaluations overlap the model latency —
+  the generation/evaluation pipeline;
+* with direct clients, cells run under the :class:`ParallelEvaluator`'s
+  ``auto`` policy (process pool for CPU-bound work, thread fallback).
+
+Determinism: cells are independent by construction (each builds its own
+client from ``(model, seed)``), results return in submission order, and a
+generation is a pure function of its key — so a scheduled sweep's
+statistics are byte-identical to the serial loop.  ``jobs`` resolves
+through the usual chain (argument > ``REPRO_JOBS`` > serial), and the
+serial default *is* the plain loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..config import get_settings
+from ..obs import get_metrics, get_tracer
+from .parallel import ParallelEvaluator
+
+
+class SweepScheduler:
+    """Order-preserving map over sweep cells; see the module docstring."""
+
+    def __init__(self, jobs: int | str | None = None,
+                 timeout: float | None = None):
+        self.evaluator = ParallelEvaluator(
+            jobs,
+            mode="thread" if get_settings().service_enabled else "auto",
+            timeout=timeout)
+
+    @property
+    def jobs(self) -> int:
+        return self.evaluator.jobs
+
+    @property
+    def mode(self) -> str:
+        return self.evaluator.mode
+
+    def map(self, fn: Callable[[Any], Any], cells: Iterable[Any],
+            timeout_result: Callable[[Any], Any] | None = None) -> list[Any]:
+        """Run every cell; results in submission order."""
+        work = list(cells)
+        tracer = get_tracer()
+        with tracer.span("exec.sweep", cells=len(work), jobs=self.jobs,
+                         mode=self.mode):
+            get_metrics().counter("exec.sweep_cells").add(len(work))
+            return self.evaluator.map(fn, work,
+                                      timeout_result=timeout_result)
+
+
+def sweep_map(fn: Callable[[Any], Any], cells: Iterable[Any],
+              jobs: int | str | None = None,
+              timeout: float | None = None,
+              timeout_result: Callable[[Any], Any] | None = None) -> list:
+    """One-shot convenience wrapper around :class:`SweepScheduler`."""
+    return SweepScheduler(jobs, timeout=timeout).map(
+        fn, cells, timeout_result=timeout_result)

@@ -52,6 +52,27 @@ def guided_debug_task(payload: tuple) -> Any:
                         temperature=temperature, seed=seed)
 
 
+def autochip_budget_task(payload: tuple) -> Any:
+    """``(problem, model, k, depth, temperature, seed) -> AutoChipResult`` —
+    one cell of a ``compare_budgets`` grid (fresh client per cell: a
+    ``SimulatedLLM`` generation depends only on its key, and result token
+    counts are per-run deltas, so per-cell clients match the shared-client
+    serial loop)."""
+    problem, model, k, depth, temperature, seed = payload
+    from ..flows.autochip import run_autochip
+    return run_autochip(problem, model, k=k, depth=depth,
+                        temperature=temperature, seed=seed)
+
+
+def vrank_cell_task(payload: tuple) -> Any:
+    """``(problem, model, n_candidates, temperature, seed) -> VRankResult``
+    — one cell of a VRank sweep."""
+    problem, model, n_candidates, temperature, seed = payload
+    from ..flows.vrank import vrank
+    return vrank(problem, model, n_candidates, temperature=temperature,
+                 seed=seed)
+
+
 def agent_run_task(payload: tuple) -> Any:
     """``(problem, model, enable_feedback, seed) -> AgentRunReport`` — one
     cell of an agent sweep."""

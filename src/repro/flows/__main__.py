@@ -16,6 +16,7 @@ from dataclasses import asdict, is_dataclass
 from typing import Any
 
 from ..bench.problems import all_problems, get_problem
+from ..engine import Budget
 from .registry import get_flow, list_flows
 
 
@@ -47,6 +48,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--problems", default=None,
                         help="comma-separated problem ids "
                              "(default: every benchmark problem)")
+    parser.add_argument("--budget-tokens", type=int, default=None,
+                        help="per-run token ceiling (engine Budget)")
+    parser.add_argument("--budget-evals", type=int, default=None,
+                        help="per-run tool-evaluation ceiling")
+    parser.add_argument("--deadline-s", type=float, default=None,
+                        help="per-run wall-clock deadline in seconds")
     args = parser.parse_args(argv)
 
     if args.list_flows or args.flow is None:
@@ -71,7 +78,23 @@ def main(argv: list[str] | None = None) -> int:
     else:
         problems = all_problems()
 
-    result = spec.run(problems, args.model, seed=args.seed, jobs=args.jobs)
+    budget = None
+    if (args.budget_tokens is not None or args.budget_evals is not None
+            or args.deadline_s is not None):
+        try:
+            budget = Budget(max_tokens=args.budget_tokens,
+                            max_evals=args.budget_evals,
+                            deadline_s=args.deadline_s)
+        except ValueError as exc:
+            print(f"invalid budget: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = spec.run(problems, args.model, seed=args.seed,
+                          jobs=args.jobs, budget=budget)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     print(json.dumps(_summarize(result), indent=2, default=str))
     return 0
 

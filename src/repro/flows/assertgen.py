@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from ..bench.harness import make_task
 from ..bench.problems import Problem
+from ..engine import Budget, LoopKernel, RoundState, RunRecord
 from ..hdl.testbench import exercise_module
 from ..llm.model import SimulatedLLM, _stable_seed
 from ..service import LLMClient, resolve_client
@@ -103,11 +104,11 @@ def generate_assertions(problem: Problem,
 class AssertionReport:
     problem_id: str
     model: str
-    generated: int
-    valid: int                   # hold on the golden design
-    refined: int                 # surviving the AutoSVA-style loop
     mutant_kill_rate: float
-    refinement_rounds: int
+    generated: int = field(default=0, kw_only=True)
+    valid: int = field(default=0, kw_only=True)   # hold on the golden design
+    refined: int = field(default=0, kw_only=True)  # surviving refinement
+    refinement_rounds: int = field(default=0, kw_only=True)
 
     @property
     def validity(self) -> float:
@@ -121,24 +122,33 @@ class AssertionReport:
 
 
 def refine_assertions(assertions: list[Assertion], problem: Problem,
-                      max_rounds: int = 3) -> tuple[list[Assertion], int]:
+                      max_rounds: int = 3,
+                      budget: Budget | None = None
+                      ) -> tuple[list[Assertion], int]:
     """AutoSVA-style loop: drop assertions the formal tool disproves.
 
     Our 'formal tool' is exhaustive-enough simulation against the golden
-    design — sound for the point/reset assertion classes used here.
+    design — sound for the point/reset assertion classes used here.  The
+    loop runs on the :class:`repro.engine.LoopKernel`.
     """
     widths, clk, reset = _interface(problem)
-    current = list(assertions)
-    rounds = 0
-    for _ in range(max_rounds):
-        rounds += 1
-        failing = [a for a in current
+    record = RunRecord(flow="assertgen.refine",
+                       problem_id=problem.problem_id)
+    st = {"current": list(assertions)}
+
+    def step(state: RoundState, sp) -> str | None:
+        record.tool_evaluations += len(st["current"])
+        failing = [a for a in st["current"]
                    if _holds(a, problem.reference, problem.module_name,
                              clk, reset) is not True]
         if not failing:
-            break
-        current = [a for a in current if a not in failing]
-    return current, rounds
+            return "converged"
+        st["current"] = [a for a in st["current"] if a not in failing]
+        return None
+
+    LoopKernel(step=step, record=record, budget=budget,
+               max_rounds=max_rounds, span_name="assertgen.round").run()
+    return st["current"], record.rounds_used
 
 
 def assertion_quality(problem: Problem,
@@ -173,9 +183,9 @@ def assertion_quality(problem: Problem,
                 killed += 1
                 break
     kill_rate = killed / produced if produced else 0.0
-    return AssertionReport(problem.problem_id, llm.profile.name,
-                           len(assertions), valid, len(refined), kill_rate,
-                           rounds)
+    return AssertionReport(problem.problem_id, llm.profile.name, kill_rate,
+                           generated=len(assertions), valid=valid,
+                           refined=len(refined), refinement_rounds=rounds)
 
 
 @dataclass
@@ -204,9 +214,9 @@ def assertion_sweep(problems: list[Problem],
     cells = [(problem, model, seed)
              for seed in seeds for problem in problems]
     if isinstance(model, str):
-        from ..exec import ParallelEvaluator, assertion_quality_task
+        from ..exec import SweepScheduler, assertion_quality_task
         return AssertionSweep(
-            ParallelEvaluator(jobs).map(assertion_quality_task, cells))
+            SweepScheduler(jobs).map(assertion_quality_task, cells))
     sweep = AssertionSweep()
     for problem, _, seed in cells:
         sweep.results.append(assertion_quality(problem, model, seed=seed))

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from ..bench.harness import make_task
 from ..bench.problems import Problem
+from ..engine import Budget, LoopKernel, RoundState, RunRecord
 from ..hdl import parse_module
 from ..hdl.elaborate import eval_const
 from ..hdl.testbench import exercise_module
@@ -177,10 +178,10 @@ class TbQualityReport:
     problem_id: str
     model: str
     self_corrected: bool
-    n_checks: int
     false_reject: bool          # golden design fails the generated TB
     mutant_kill_rate: float     # fraction of faulty designs the TB rejects
     coverage_vs_golden: float   # checks relative to the problem's quality TB
+    n_checks: int = field(default=0, kw_only=True)
 
     def summary(self) -> str:
         return (f"{self.problem_id} [{self.model}"
@@ -192,8 +193,13 @@ class TbQualityReport:
 def testbench_quality(problem: Problem,
                       model: str | SimulatedLLM | LLMClient,
                       n_mutants: int = 6, *, seed: int = 0,
-                      self_correct: bool = False) -> TbQualityReport:
-    """Measure a generated testbench on the two axes that matter."""
+                      self_correct: bool = False,
+                      budget: Budget | None = None) -> TbQualityReport:
+    """Measure a generated testbench on the two axes that matter.
+
+    The mutant-kill loop (sample faulty designs until ``n_mutants`` real
+    mutants are scored) runs on the :class:`repro.engine.LoopKernel`.
+    """
     llm = resolve_client(model, seed=seed)
     tb = generate_testbench(problem, llm, seed=seed, self_correct=self_correct)
     golden_verdict = check_design(tb, problem.reference, problem.module_name)
@@ -202,26 +208,38 @@ def testbench_quality(problem: Problem,
     # Mutants: faulty candidate designs from a deliberately weak generator.
     task = make_task(problem)
     mutant_llm = SimulatedLLM("dave-gpt2", seed=seed + 99)
-    killed = 0
-    produced = 0
-    for i in range(n_mutants * 3):
-        if produced >= n_mutants:
-            break
-        generation = mutant_llm.generate(task, temperature=1.1, sample_index=i)
+    record = RunRecord(flow="autobench.mutants",
+                       problem_id=problem.problem_id, model=llm.profile.name)
+    st = {"killed": 0, "produced": 0}
+
+    def stop(state: RoundState) -> str | None:
+        return "quota" if st["produced"] >= n_mutants else None
+
+    def step(state: RoundState, sp) -> str | None:
+        generation = mutant_llm.generate(task, temperature=1.1,
+                                         sample_index=state.round_no - 1)
+        record.generations += 1
         if not generation.faults:
-            continue   # accidentally correct: not a mutant
-        produced += 1
+            return None   # accidentally correct: not a mutant
+        st["produced"] += 1
         verdict = check_design(tb, generation.text, problem.module_name)
+        record.tool_evaluations += 1
         if not verdict.passed:
-            killed += 1
-    kill_rate = killed / produced if produced else 0.0
+            st["killed"] += 1
+        return None
+
+    LoopKernel(step=step, stop=stop, record=record, budget=budget,
+               max_rounds=n_mutants * 3, span_name="autobench.mutant").run()
+    kill_rate = st["killed"] / st["produced"] if st["produced"] else 0.0
 
     from ..bench.harness import evaluate_candidate
     golden_tb = evaluate_candidate(problem, problem.reference)
     coverage = tb.n_checks / max(1, golden_tb.total_checks)
-    return TbQualityReport(problem.problem_id, llm.profile.name, self_correct,
-                           tb.n_checks, false_reject, kill_rate,
-                           min(2.0, coverage))
+    result = TbQualityReport(problem.problem_id, llm.profile.name,
+                             self_correct, false_reject, kill_rate,
+                             min(2.0, coverage), n_checks=tb.n_checks)
+    result.run_record = record
+    return result
 
 
 @dataclass
@@ -251,9 +269,9 @@ def autobench_sweep(problems: list[Problem],
     cells = [(problem, model, self_correct, seed)
              for seed in seeds for problem in problems]
     if isinstance(model, str):
-        from ..exec import ParallelEvaluator, testbench_quality_task
+        from ..exec import SweepScheduler, testbench_quality_task
         return AutoBenchSweep(
-            ParallelEvaluator(jobs).map(testbench_quality_task, cells))
+            SweepScheduler(jobs).map(testbench_quality_task, cells))
     sweep = AutoBenchSweep()
     for problem, _, self_corr, seed in cells:
         sweep.results.append(testbench_quality(problem, model, seed=seed,

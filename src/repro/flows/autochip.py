@@ -5,6 +5,11 @@ round samples ``k`` candidate responses, evaluates every candidate with the
 EDA tools, ranks them by fraction of passing test cases, and feeds the best
 candidate's tool output back for the next round — up to tree depth ``d``.
 
+The loop itself lives in :class:`repro.engine.RefinementEngine`; this module
+only supplies the hooks (how to sample, score, rank and build feedback) and
+the public result dataclass, a thin view over the engine's
+:class:`~repro.engine.RunRecord`.
+
 The experiment the paper reports (E6 here): across four commercial-model
 profiles, only the most capable one benefits more from feedback iterations
 (depth) than from candidate sampling (breadth), because exploiting EDA error
@@ -17,12 +22,17 @@ from dataclasses import dataclass, field
 
 from ..bench.harness import make_task
 from ..bench.problems import Problem
-from ..exec import ParallelEvaluator, evaluate_candidate_task
+from ..engine import (Budget, GenerationBatch, RefinementEngine, RoundLog,
+                      RoundState, RunRecord, Selection, rank_by_score)
+from ..exec import (ParallelEvaluator, SweepScheduler, autochip_budget_task,
+                    evaluate_candidate_task)
 from ..hdl.testbench import TestbenchResult
-from ..llm.model import Generation, GenerationTask, SimulatedLLM
+from ..llm.model import Generation, SimulatedLLM
 from ..llm.prompts import Prompt, PromptStrategy
-from ..obs import get_tracer
 from ..service import LLMClient, resolve_client
+
+__all__ = ["AutoChip", "AutoChipConfig", "AutoChipResult", "BudgetComparison",
+           "RoundLog", "compare_budgets", "run_autochip"]
 
 
 @dataclass
@@ -34,25 +44,17 @@ class AutoChipConfig:
 
 
 @dataclass
-class RoundLog:
-    round_no: int
-    scores: list[float]
-    best_score: float
-    feedback_used: str
-
-
-@dataclass
 class AutoChipResult:
     problem_id: str
     model: str
-    success: bool
-    best_score: float
-    best_source: str
-    rounds_used: int
-    generations: int
-    tool_evaluations: int
-    total_tokens: int
-    rounds: list[RoundLog] = field(default_factory=list)
+    success: bool = False
+    best_score: float = 0.0
+    best_source: str = ""
+    rounds_used: int = field(default=0, kw_only=True)
+    generations: int = field(default=0, kw_only=True)
+    tool_evaluations: int = field(default=0, kw_only=True)
+    total_tokens: int = field(default=0, kw_only=True)
+    rounds: list[RoundLog] = field(default_factory=list, kw_only=True)
 
     def summary(self) -> str:
         status = "PASS" if self.success else "FAIL"
@@ -62,11 +64,13 @@ class AutoChipResult:
 
 
 class AutoChip:
-    """The tree-search generation loop.
+    """The tree-search generation loop, hosted on the run engine.
 
     ``jobs`` fans each round's candidate evaluations (independent,
-    CPU-bound testbench runs) over a worker pool; generation stays
-    sequential on the client, so statistics match the serial loop.
+    CPU-bound testbench runs) over a worker pool; candidate generation
+    goes through a :class:`~repro.engine.GenerationBatch`, so brokered
+    clients put the whole round in flight at once while direct clients
+    sample sequentially — statistics match the serial loop either way.
     """
 
     def __init__(self, llm: "SimulatedLLM | LLMClient",
@@ -76,80 +80,96 @@ class AutoChip:
         self.config = config or AutoChipConfig()
         self.jobs = jobs
 
-    def run(self, problem: Problem) -> AutoChipResult:
+    def run(self, problem: Problem,
+            budget: Budget | None = None) -> AutoChipResult:
         cfg = self.config
         task = make_task(problem)
         prompt = Prompt(spec=problem.spec, strategy=cfg.strategy)
         tokens_before = self.llm.usage.total_tokens
+        record = RunRecord(flow="autochip", problem_id=problem.problem_id,
+                           model=self.llm.profile.name)
+        # The run's winners, shared by the hooks and read back after the
+        # engine finishes.
+        best: dict = {"score": -1.0, "generation": None, "result": None}
 
-        result = AutoChipResult(problem.problem_id, self.llm.profile.name,
-                                False, 0.0, "", 0, 0, 0, 0)
-        best_generation: Generation | None = None
-        best_result: TestbenchResult | None = None
-        best_score = -1.0
-        feedback = ""
+        def candidates(state: RoundState) -> list[Generation]:
+            batch = GenerationBatch(self.llm)
+            base = (state.round_no - 1) * cfg.k
+            for i in range(cfg.k):
+                if state.round_no == 1 or best["generation"] is None:
+                    batch.generate(task, prompt, cfg.temperature,
+                                   sample_index=base + i)
+                else:
+                    batch.refine(task, best["generation"], state.feedback,
+                                 cfg.temperature, sample_index=base + i)
+            return batch.gather()
 
-        tracer = get_tracer()
-        for round_no in range(1, cfg.depth + 1):
-            result.rounds_used = round_no
-            with tracer.span("autochip.round", round_no=round_no,
-                             k=cfg.k) as sp:
-                candidates: list[Generation] = []
-                for i in range(cfg.k):
-                    if round_no == 1 or best_generation is None:
-                        generation = self.llm.generate(
-                            task, prompt, cfg.temperature,
-                            sample_index=(round_no - 1) * cfg.k + i)
-                    else:
-                        generation = self.llm.refine(
-                            task, best_generation, feedback, cfg.temperature,
-                            sample_index=(round_no - 1) * cfg.k + i)
-                    result.generations += 1
-                    candidates.append(generation)
-                evaluations = ParallelEvaluator(self.jobs).map(
-                    evaluate_candidate_task,
-                    [(problem, g.text, 200_000) for g in candidates])
-                ranked: list[tuple[float, Generation, TestbenchResult]] = []
-                for generation, tb in zip(candidates, evaluations):
-                    result.tool_evaluations += 1
-                    score = tb.score if tb.compiled else -0.5
-                    ranked.append((score, generation, tb))
-                ranked.sort(key=lambda item: -item[0])
-                round_best_score, round_best_gen, round_best_tb = ranked[0]
-                result.rounds.append(RoundLog(
-                    round_no, [r[0] for r in ranked], round_best_score,
-                    feedback[:80]))
-                if round_best_score > best_score:
-                    best_score = round_best_score
-                    best_generation = round_best_gen
-                    best_result = round_best_tb
-                sp.set(best_score=round(round_best_score, 4),
-                       best_faults=len(round_best_gen.faults),
-                       round_fault_counts=[len(g.faults)
-                                           for _, g, _ in ranked],
-                       feedback_used=bool(feedback))
-            assert best_result is not None
-            if best_result.passed:
-                break
-            feedback = best_result.feedback()
+        def evaluate(state: RoundState,
+                     cands: list[Generation]) -> list[TestbenchResult]:
+            return ParallelEvaluator(self.jobs).map(
+                evaluate_candidate_task,
+                [(problem, g.text, 200_000) for g in cands])
 
-        result.success = bool(best_result and best_result.passed)
-        result.best_score = max(0.0, best_score)
-        result.best_source = best_generation.text if best_generation else ""
-        result.total_tokens = self.llm.usage.total_tokens - tokens_before
+        def select(state: RoundState, cands: list[Generation],
+                   outcomes: list[TestbenchResult]) -> Selection:
+            selection = rank_by_score(
+                cands, outcomes,
+                lambda tb: tb.score if tb.compiled else -0.5)
+            if selection.best_score > best["score"]:
+                best["score"] = selection.best_score
+                best["generation"] = selection.best_candidate
+                best["result"] = selection.best_outcome
+            return selection
+
+        def annotate(sp, state: RoundState, selection: Selection) -> None:
+            sp.set(best_score=round(selection.best_score, 4),
+                   best_faults=len(selection.best_candidate.faults),
+                   round_fault_counts=[len(g.faults)
+                                       for _, g, _ in selection.ranked],
+                   feedback_used=bool(state.feedback))
+
+        def stop_after(state: RoundState,
+                       selection: Selection) -> str | None:
+            return "passed" if best["result"].passed else None
+
+        def next_feedback(state: RoundState, selection: Selection) -> str:
+            return best["result"].feedback()
+
+        engine = RefinementEngine(
+            candidates=candidates, evaluate=evaluate, select=select,
+            annotate=annotate, stop_after=stop_after, feedback=next_feedback,
+            budget=budget, record=record, max_rounds=cfg.depth,
+            span_name="autochip.round",
+            span_attrs=lambda state: {"round_no": state.round_no,
+                                      "k": cfg.k})
+        engine.run()
+
+        best_tb: TestbenchResult | None = best["result"]
+        record.charge_tokens(self.llm.usage.total_tokens - tokens_before)
+        result = AutoChipResult(
+            problem.problem_id, self.llm.profile.name,
+            bool(best_tb and best_tb.passed),
+            max(0.0, best["score"]),
+            best["generation"].text if best["generation"] else "",
+            rounds_used=record.rounds_used,
+            generations=record.generations,
+            tool_evaluations=record.tool_evaluations,
+            total_tokens=record.total_tokens,
+            rounds=record.rounds)
+        result.run_record = record
         return result
 
 
 def run_autochip(problem: Problem,
                  model: str | SimulatedLLM | LLMClient = "gpt-4o", *,
                  k: int = 4, depth: int = 3, temperature: float = 0.8,
-                 seed: int = 0,
-                 jobs: int | str | None = None) -> AutoChipResult:
+                 seed: int = 0, jobs: int | str | None = None,
+                 budget: Budget | None = None) -> AutoChipResult:
     """One-call AutoChip run (unified flow signature)."""
     llm = resolve_client(model, seed=seed)
     return AutoChip(llm, AutoChipConfig(k=k, depth=depth,
                                         temperature=temperature),
-                    jobs=jobs).run(problem)
+                    jobs=jobs).run(problem, budget=budget)
 
 
 @dataclass
@@ -173,20 +193,34 @@ def compare_budgets(model: str | SimulatedLLM | LLMClient,
                     temperature: float = 0.8,
                     seeds: tuple[int, ...] = (0, 1, 2),
                     jobs: int | str | None = None) -> BudgetComparison:
-    """Same total generations spent two ways: all breadth vs all depth."""
+    """Same total generations spent two ways: all breadth vs all depth.
+
+    The ``seeds × problems`` grid goes through the
+    :class:`~repro.exec.SweepScheduler`, so with ``jobs > 1`` whole cells
+    run concurrently (pipelining generation against evaluation; under
+    ``REPRO_SERVICE=1`` concurrent cells also coalesce broker batches).
+    Cells are independent — a generation depends only on its
+    ``(seed, model, task, sample)`` key and token counts are per-run
+    deltas — so scheduled statistics are byte-identical to the serial
+    loop.  A pre-built client instance cannot be shipped to workers and
+    keeps the serial path.
+    """
     def run_mode(k: int, depth: int) -> float:
-        wins = 0
-        total = 0
-        for seed in seeds:
-            llm = resolve_client(model, seed=seed)
-            chip = AutoChip(llm, AutoChipConfig(k=k, depth=depth,
-                                                temperature=temperature),
-                            jobs=jobs)
-            for problem in problems:
-                outcome = chip.run(problem)
-                wins += 1 if outcome.success else 0
-                total += 1
-        return wins / total if total else 0.0
+        outcomes: list[AutoChipResult]
+        if isinstance(model, str):
+            cells = [(problem, model, k, depth, temperature, seed)
+                     for seed in seeds for problem in problems]
+            outcomes = SweepScheduler(jobs).map(autochip_budget_task, cells)
+        else:
+            outcomes = []
+            for seed in seeds:
+                llm = resolve_client(model, seed=seed)
+                chip = AutoChip(llm, AutoChipConfig(k=k, depth=depth,
+                                                    temperature=temperature),
+                                jobs=jobs)
+                outcomes.extend(chip.run(problem) for problem in problems)
+        wins = sum(1 for outcome in outcomes if outcome.success)
+        return wins / len(outcomes) if outcomes else 0.0
 
     breadth = run_mode(k=budget, depth=1)
     depth = run_mode(k=1, depth=budget)

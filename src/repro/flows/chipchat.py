@@ -5,7 +5,8 @@ a design dialogue: request, inspect, give targeted feedback, repeat.  The
 human's feedback is *precise* (they read the code), so each intervention
 fixes a concrete defect — the contrast with unattended flows is exactly the
 paper's point that Chip-Chat "relied on an experienced hardware designer to
-guide the development".
+guide the development".  The dialogue loop runs on the
+:class:`repro.engine.LoopKernel` (one candidate, a human in the loop).
 
 Also provides the Tiny-Tapeout-style sign-off summary (the QTcore-A1
 narrative: the first AI-written tapeout).
@@ -17,6 +18,7 @@ from dataclasses import dataclass, field
 
 from ..bench.harness import evaluate_candidate, make_task
 from ..bench.problems import Problem
+from ..engine import Budget, LoopKernel, RoundState, RunRecord
 from ..llm.model import SimulatedLLM
 from ..llm.prompts import PromptStrategy
 from ..service import LLMClient, resolve_client
@@ -33,10 +35,10 @@ class ChipChatResult:
     problem_id: str
     model: str
     success: bool
-    model_turns: int
-    human_turns: int
-    tool_runs: int
     final_source: str
+    model_turns: int = field(default=0, kw_only=True)
+    human_turns: int = field(default=0, kw_only=True)
+    tool_runs: int = field(default=0, kw_only=True)
     transcript: list[ChipChatTurn] = field(default_factory=list)
 
     def summary(self) -> str:
@@ -56,7 +58,8 @@ class ChipChatSession:
         self.max_model_turns = max_model_turns
         self.temperature = temperature
 
-    def run(self, problem: Problem) -> ChipChatResult:
+    def run(self, problem: Problem,
+            budget: Budget | None = None) -> ChipChatResult:
         task = make_task(problem)
         chat = self.llm.chat(system="You are collaborating with an "
                                     "experienced hardware designer on a "
@@ -64,38 +67,54 @@ class ChipChatSession:
         transcript: list[ChipChatTurn] = []
         transcript.append(ChipChatTurn("designer", problem.spec))
 
-        generation = None
-        result_tb = None
-        human_turns = 0
-        tool_runs = 0
-        model_turns = 0
+        record = RunRecord(flow="chipchat", problem_id=problem.problem_id,
+                           model=self.llm.profile.name)
+        tokens_before = self.llm.usage.total_tokens
+        st: dict = {"generation": None, "result_tb": None, "human_turns": 0}
 
-        for turn in range(self.max_model_turns):
-            model_turns += 1
-            if generation is None:
-                generation = chat.ask_for_design(
+        def step(state: RoundState, sp) -> str | None:
+            if st["generation"] is None:
+                st["generation"] = chat.ask_for_design(
                     task, strategy=PromptStrategy.CONVERSATIONAL,
-                    temperature=self.temperature, sample_index=turn)
-            transcript.append(ChipChatTurn("model",
-                                           f"<design {len(generation.text)}B>"))
-            result_tb = evaluate_candidate(problem, generation.text)
-            tool_runs += 1
+                    temperature=self.temperature,
+                    sample_index=state.round_no - 1)
+                record.generations += 1
+            transcript.append(ChipChatTurn(
+                "model", f"<design {len(st['generation'].text)}B>"))
+            result_tb = evaluate_candidate(problem, st["generation"].text)
+            st["result_tb"] = result_tb
+            record.tool_evaluations += 1
             transcript.append(ChipChatTurn("tool", result_tb.feedback(4)))
             if result_tb.passed:
-                break
+                return "passed"
             # The experienced designer reads the failure and the code, then
             # gives targeted feedback; the model applies the precise fix.
-            human_turns += 1
+            st["human_turns"] += 1
             transcript.append(ChipChatTurn(
                 "designer", "Here is exactly what is wrong — fix that line."))
-            generation = self.llm.apply_human_fix(task, generation)
+            st["generation"] = self.llm.apply_human_fix(task,
+                                                        st["generation"])
+            record.generations += 1
             chat.add_tool_output(result_tb.feedback(4))
+            return None
 
-        success = bool(result_tb and result_tb.passed)
-        return ChipChatResult(problem.problem_id, self.llm.profile.name,
-                              success, model_turns, human_turns, tool_runs,
-                              generation.text if generation else "",
-                              transcript)
+        LoopKernel(step=step, record=record, budget=budget,
+                   max_rounds=self.max_model_turns,
+                   span_name="chipchat.turn").run()
+
+        result_tb = st["result_tb"]
+        generation = st["generation"]
+        record.charge_tokens(self.llm.usage.total_tokens - tokens_before)
+        result = ChipChatResult(
+            problem.problem_id, self.llm.profile.name,
+            bool(result_tb and result_tb.passed),
+            generation.text if generation else "",
+            model_turns=record.rounds_used,
+            human_turns=st["human_turns"],
+            tool_runs=record.tool_evaluations,
+            transcript=transcript)
+        result.run_record = record
+        return result
 
 
 @dataclass
@@ -126,14 +145,14 @@ def run_chipchat_tapeout(problems: list[Problem],
     """Drive every block of a small 'tapeout' through Chip-Chat.
 
     Blocks are independent (each gets a fresh chat session), so a plain
-    profile name fans out over ``jobs`` workers; client instances are not
-    picklable and run serially.  Ordering follows ``problems`` either way.
+    profile name goes through the :class:`~repro.exec.SweepScheduler`;
+    client instances are not picklable and run serially.  Ordering follows
+    ``problems`` either way.
     """
     if isinstance(model, str):
-        from ..exec import ParallelEvaluator, chipchat_task
+        from ..exec import SweepScheduler, chipchat_task
         cells = [(problem, model, seed) for problem in problems]
-        return TapeoutReport(
-            ParallelEvaluator(jobs).map(chipchat_task, cells))
+        return TapeoutReport(SweepScheduler(jobs).map(chipchat_task, cells))
     llm = resolve_client(model, seed=seed)
     session = ChipChatSession(llm)
     report = TapeoutReport()

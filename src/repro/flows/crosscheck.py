@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from ..bench.harness import evaluate_candidate, make_task
 from ..bench.problems import Problem
+from ..engine import Budget, LoopKernel, RoundState, RunRecord
 from ..hdl.testbench import exercise_module
 from ..hls.cparser import cparse
 from ..hls.interp import CRuntimeError, Machine
@@ -209,9 +210,9 @@ class GuidedDebugResult:
     problem_id: str
     model: str
     success: bool
-    iterations: int
     model_faithful: bool
     used_crosscheck: bool
+    iterations: int = field(default=0, kw_only=True)
 
     def summary(self) -> str:
         status = "PASS" if self.success else "FAIL"
@@ -223,21 +224,30 @@ class GuidedDebugResult:
 
 def guided_debug(problem: Problem, llm: "SimulatedLLM | LLMClient",
                  use_crosscheck: bool = True, max_iterations: int = 4,
-                 temperature: float = 0.9, seed: int = 0) -> GuidedDebugResult:
+                 temperature: float = 0.9, seed: int = 0,
+                 budget: Budget | None = None) -> GuidedDebugResult:
     """Generate RTL, then debug it against the high-level model (or plain
-    testbench feedback when ``use_crosscheck`` is off)."""
+    testbench feedback when ``use_crosscheck`` is off).  The repair loop
+    runs on the :class:`repro.engine.LoopKernel`."""
     task = make_task(problem)
-    generation: Generation = llm.generate(task, temperature=temperature,
-                                          sample_index=seed)
+    tokens_before = llm.usage.total_tokens
+    record = RunRecord(flow="crosscheck", problem_id=problem.problem_id,
+                       model=llm.profile.name)
+    st: dict = {"generation": llm.generate(task, temperature=temperature,
+                                           sample_index=seed),
+                "iterations": 0}
+    record.generations += 1
     hl_model = generate_highlevel_model(problem, llm, seed=seed) \
         if use_crosscheck else None
 
-    iterations = 0
-    for iteration in range(max_iterations):
+    def step(state: RoundState, sp) -> str | None:
+        generation: Generation = st["generation"]
         verdict = evaluate_candidate(problem, generation.text)
+        record.tool_evaluations += 1
         if verdict.passed:
-            break
-        iterations += 1
+            return "passed"
+        st["iterations"] += 1
+        iteration = state.round_no - 1
         if use_crosscheck and hl_model is not None:
             xreport = crosscheck(problem, generation.text, hl_model,
                                  seed=seed + iteration)
@@ -249,14 +259,25 @@ def guided_debug(problem: Problem, llm: "SimulatedLLM | LLMClient",
                 feedback += "\nFAIL expected vs actual shown above"
         else:
             feedback = verdict.feedback()
-        generation = llm.refine(task, generation, feedback, temperature,
-                                sample_index=iteration)
+        st["generation"] = llm.refine(task, generation, feedback,
+                                      temperature, sample_index=iteration)
+        record.generations += 1
+        return None
 
-    final = evaluate_candidate(problem, generation.text)
-    return GuidedDebugResult(problem.problem_id, llm.profile.name,
-                             final.passed, iterations,
-                             hl_model.faithful if hl_model else True,
-                             use_crosscheck)
+    LoopKernel(step=step, record=record, budget=budget,
+               max_rounds=max_iterations,
+               span_name="crosscheck.iteration").run()
+
+    final = evaluate_candidate(problem, st["generation"].text)
+    record.tool_evaluations += 1
+    record.charge_tokens(llm.usage.total_tokens - tokens_before)
+    result = GuidedDebugResult(problem.problem_id, llm.profile.name,
+                               final.passed,
+                               hl_model.faithful if hl_model else True,
+                               use_crosscheck,
+                               iterations=st["iterations"])
+    result.run_record = record
+    return result
 
 
 @dataclass
@@ -288,9 +309,9 @@ def guided_debug_sweep(problems: list[Problem],
                 for seed in seeds for problem in problems
                 if supports_crosscheck(problem) or not use_crosscheck]
     if isinstance(model, str):
-        from ..exec import ParallelEvaluator, guided_debug_task
+        from ..exec import SweepScheduler, guided_debug_task
         return GuidedDebugSweep(
-            ParallelEvaluator(jobs).map(guided_debug_task, payloads))
+            SweepScheduler(jobs).map(guided_debug_task, payloads))
     sweep = GuidedDebugSweep()
     for problem, _, use_x, max_iters, temp, seed in payloads:
         sweep.results.append(guided_debug(

@@ -7,6 +7,10 @@ prompting strategy — it reduces the *effective complexity* each generation
 faces (see :func:`repro.llm.prompts.prompt_effects`) at the cost of extra
 model calls — plus a composition step that can itself fail for models with
 weak instruction following.
+
+The hierarchical-vs-direct comparison runs as a one-round
+:class:`repro.engine.RefinementEngine`: both arms are independent samples,
+so a brokered client puts them in flight together.
 """
 
 from __future__ import annotations
@@ -15,6 +19,8 @@ from dataclasses import dataclass, field
 
 from ..bench.harness import evaluate_candidate, make_task
 from ..bench.problems import Problem
+from ..engine import (Budget, GenerationBatch, RefinementEngine, RoundState,
+                      RunRecord, Selection, rank_by_score)
 from ..llm.model import SimulatedLLM
 from ..llm.prompts import Prompt, PromptStrategy
 from ..service import LLMClient, resolve_client
@@ -26,8 +32,8 @@ class HierarchicalResult:
     model: str
     success: bool
     direct_success: bool         # same model, single-shot baseline
-    submodule_calls: int
-    total_tokens: int
+    submodule_calls: int = field(default=0, kw_only=True)
+    total_tokens: int = field(default=0, kw_only=True)
 
     @property
     def lift(self) -> int:
@@ -36,27 +42,49 @@ class HierarchicalResult:
 
 def run_hierarchical(problem: Problem,
                      model: str | SimulatedLLM | LLMClient = "cl-verilog-34b",
-                     temperature: float = 0.7, *,
-                     seed: int = 0) -> HierarchicalResult:
+                     temperature: float = 0.7, *, seed: int = 0,
+                     budget: Budget | None = None) -> HierarchicalResult:
     """Hierarchical vs direct generation on one problem."""
     llm = resolve_client(model, seed=seed)
     task = make_task(problem)
     tokens_before = llm.usage.total_tokens
+    record = RunRecord(flow="hierarchical", problem_id=problem.problem_id,
+                       model=llm.profile.name)
 
-    hier_prompt = Prompt(spec=problem.spec,
-                         strategy=PromptStrategy.HIERARCHICAL)
-    hier_gen = llm.generate(task, hier_prompt, temperature, sample_index=0)
-    hier_ok = evaluate_candidate(problem, hier_gen.text).passed
-    submodule_calls = max(1, problem.complexity - 1)
+    def candidates(state: RoundState) -> list:
+        batch = GenerationBatch(llm)
+        batch.generate(task, Prompt(spec=problem.spec,
+                                    strategy=PromptStrategy.HIERARCHICAL),
+                       temperature, sample_index=0)
+        batch.generate(task, Prompt(spec=problem.spec,
+                                    strategy=PromptStrategy.DIRECT),
+                       temperature, sample_index=1)
+        return batch.gather()
 
-    direct_prompt = Prompt(spec=problem.spec, strategy=PromptStrategy.DIRECT)
-    direct_gen = llm.generate(task, direct_prompt, temperature,
-                              sample_index=1)
-    direct_ok = evaluate_candidate(problem, direct_gen.text).passed
+    def evaluate(state: RoundState, cands: list) -> list:
+        return [evaluate_candidate(problem, g.text) for g in cands]
 
-    return HierarchicalResult(problem.problem_id, llm.profile.name, hier_ok,
-                              direct_ok, submodule_calls,
-                              llm.usage.total_tokens - tokens_before)
+    # The verdicts are positional (arm 0 = hierarchical, arm 1 = direct),
+    # so capture them before the selector's score ranking reorders.
+    verdicts: dict = {"hier": False, "direct": False}
+
+    def select(state: RoundState, cands: list, outcomes: list) -> Selection:
+        verdicts["hier"] = outcomes[0].passed
+        verdicts["direct"] = outcomes[1].passed
+        return rank_by_score(cands, outcomes, lambda tb: float(tb.passed))
+
+    RefinementEngine(candidates=candidates, evaluate=evaluate,
+                     select=select, record=record, budget=budget,
+                     max_rounds=1, span_name="hierarchical.round").run()
+
+    record.charge_tokens(llm.usage.total_tokens - tokens_before)
+    result = HierarchicalResult(
+        problem.problem_id, llm.profile.name,
+        verdicts["hier"], verdicts["direct"],
+        submodule_calls=max(1, problem.complexity - 1),
+        total_tokens=record.total_tokens)
+    result.run_record = record
+    return result
 
 
 @dataclass
@@ -82,13 +110,13 @@ def hierarchical_sweep(problems: list[Problem],
                        = "cl-verilog-34b", *,
                        seeds: tuple[int, ...] = (0, 1, 2, 3),
                        jobs: int | str | None = None) -> HierarchicalSweep:
-    """Hierarchical-vs-direct grid; fans out for plain profile names."""
+    """Hierarchical-vs-direct grid; scheduled for plain profile names."""
     cells = [(problem, model, seed)
              for seed in seeds for problem in problems]
     if isinstance(model, str):
-        from ..exec import ParallelEvaluator, hierarchical_task
+        from ..exec import SweepScheduler, hierarchical_task
         return HierarchicalSweep(
-            ParallelEvaluator(jobs).map(hierarchical_task, cells))
+            SweepScheduler(jobs).map(hierarchical_task, cells))
     sweep = HierarchicalSweep()
     for problem, _, seed in cells:
         sweep.results.append(run_hierarchical(problem, model, seed=seed))

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..bench.problems import Problem
+from ..engine import Budget
 from .assertgen import AssertionSweep, assertion_sweep
 from .autobench import AutoBenchSweep, autobench_sweep
 from .autochip import AutoChipResult, run_autochip
@@ -35,14 +36,23 @@ class FlowSpec:
     result_type: type
     summary: str
     uses_model: bool = True
+    # Per-run Budget support: flows whose entry point threads a
+    # :class:`repro.engine.Budget` through to the loop kernel.
+    accepts_budget: bool = False
     # Uniform launcher: (problems, model, seed, jobs) -> result.  Adapts
     # per-flow signature quirks (single-problem flows, seed tuples, ...).
     runner: Callable[[list[Problem], str, int, "int | str | None"],
                      Any] | None = None
 
     def run(self, problems: list[Problem], model: str = "gpt-4", *,
-            seed: int = 0, jobs: int | str | None = None) -> Any:
+            seed: int = 0, jobs: int | str | None = None,
+            budget: Budget | None = None) -> Any:
         assert self.runner is not None
+        if budget is not None:
+            if not self.accepts_budget:
+                raise ValueError(
+                    f"flow {self.name!r} does not support --budget flags")
+            return self.runner(problems, model, seed, jobs, budget)
         return self.runner(problems, model, seed, jobs)
 
 
@@ -67,9 +77,11 @@ def list_flows() -> list[FlowSpec]:
 
 
 def run_flow(name: str, problems: list[Problem], model: str = "gpt-4", *,
-             seed: int = 0, jobs: int | str | None = None) -> Any:
+             seed: int = 0, jobs: int | str | None = None,
+             budget: Budget | None = None) -> Any:
     """Launch a registered flow through its uniform runner adapter."""
-    return get_flow(name).run(problems, model, seed=seed, jobs=jobs)
+    return get_flow(name).run(problems, model, seed=seed, jobs=jobs,
+                              budget=budget)
 
 
 _register(FlowSpec(
@@ -77,8 +89,10 @@ _register(FlowSpec(
     entry=run_autochip,
     result_type=AutoChipResult,
     summary="tree-search generation with tool-feedback rounds (Fig. 4)",
-    runner=lambda problems, model, seed, jobs: [
-        run_autochip(p, model, seed=seed, jobs=jobs) for p in problems],
+    accepts_budget=True,
+    runner=lambda problems, model, seed, jobs, budget=None: [
+        run_autochip(p, model, seed=seed, jobs=jobs, budget=budget)
+        for p in problems],
 ))
 
 _register(FlowSpec(

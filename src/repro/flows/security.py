@@ -163,14 +163,14 @@ def detection_sweep(problems: list[Problem], cosim_vectors: int = 64, *,
     """Catch rate per detector across compromised designs.
 
     Every (seed, problem) cell runs the full detector hierarchy
-    independently, so the sweep fans out over ``jobs`` workers
+    independently, so the sweep is scheduled over ``jobs`` workers
     (``REPRO_JOBS`` when unset); aggregation order is fixed, so the result
     is identical to the serial sweep.
     """
-    from ..exec import ParallelEvaluator, detect_trojan_task
+    from ..exec import SweepScheduler, detect_trojan_task
     payloads = [(problem, seed, cosim_vectors)
                 for seed in seeds for problem in problems]
-    cells = ParallelEvaluator(jobs).map(detect_trojan_task, payloads)
+    cells = SweepScheduler(jobs).map(detect_trojan_task, payloads)
     caught: dict[str, int] = {"testbench": 0, "random_cosim": 0,
                               "exhaustive_cec": 0}
     total = 0

@@ -3,7 +3,10 @@
 The strict conversational protocol: ask the model for a design, then for a
 testbench, then simulate and feed compiler/simulator output back to the
 model.  Human feedback is given only when the model fails to fix a mistake
-after several automated attempts.
+after several automated attempts.  The escalation loop runs on the
+:class:`repro.engine.LoopKernel` (it has one candidate and an irregular
+body, so it plugs a step closure into the bare kernel rather than the
+candidate engine).
 
 The paper's findings this flow reproduces (experiment E5):
 
@@ -19,6 +22,7 @@ from dataclasses import dataclass, field
 
 from ..bench.harness import evaluate_candidate, make_task
 from ..bench.problems import Problem
+from ..engine import Budget, LoopKernel, RoundState, RunRecord
 from ..llm.model import SimulatedLLM
 from ..llm.prompts import Prompt, PromptStrategy
 from ..service import LLMClient, resolve_client
@@ -30,11 +34,11 @@ class StructuredFlowResult:
     problem_id: str
     model: str
     success: bool                  # passes the golden sign-off testbench
-    tool_iterations: int
-    human_interventions: int
     own_tb_passed: bool            # passed the model's own testbench
     coverage_gap: bool             # own TB passed but golden TB failed
-    generated_tb_checks: int
+    tool_iterations: int = field(default=0, kw_only=True)
+    human_interventions: int = field(default=0, kw_only=True)
+    generated_tb_checks: int = field(default=0, kw_only=True)
 
     @property
     def no_human_needed(self) -> bool:
@@ -69,72 +73,94 @@ class StructuredFeedbackFlow:
         self.human_budget = human_budget
         self.temperature = temperature
 
-    def run(self, problem: Problem, seed: int = 0) -> StructuredFlowResult:
+    def run(self, problem: Problem, seed: int = 0,
+            budget: Budget | None = None) -> StructuredFlowResult:
         task = make_task(problem)
         prompt = Prompt(spec=problem.spec,
                         strategy=PromptStrategy.CONVERSATIONAL)
-        generation = self.llm.generate(task, prompt, self.temperature,
-                                       sample_index=seed)
-        own_tb = generate_testbench(problem, self.llm, seed=seed)
+        tokens_before = self.llm.usage.total_tokens
+        record = RunRecord(flow="structured", problem_id=problem.problem_id,
+                           model=self.llm.profile.name)
+        st = {
+            "generation": self.llm.generate(task, prompt, self.temperature,
+                                            sample_index=seed),
+            "own_tb": generate_testbench(problem, self.llm, seed=seed),
+            "tool_iterations": 0,
+            "human_interventions": 0,
+            "stuck_count": 0,
+            "last_failures": -1,
+        }
+        record.generations += 1
 
-        tool_iterations = 0
-        human_interventions = 0
-        stuck_count = 0
-        last_failures = -1
-
-        while True:
-            verdict = check_design(own_tb, generation.text,
+        def step(state: RoundState, sp) -> str | None:
+            verdict = check_design(st["own_tb"], st["generation"].text,
                                    problem.module_name)
+            record.tool_evaluations += 1
             if verdict.passed:
-                break
-            if tool_iterations >= self.max_tool_iterations \
-                    and human_interventions >= self.human_budget:
-                break
+                return "passed"
+            if st["tool_iterations"] >= self.max_tool_iterations \
+                    and st["human_interventions"] >= self.human_budget:
+                return "exhausted"
             failures = verdict.failures if verdict.simulated else 999
-            if failures == last_failures:
-                stuck_count += 1
+            if failures == st["last_failures"]:
+                st["stuck_count"] += 1
             else:
-                stuck_count = 0
-            last_failures = failures
+                st["stuck_count"] = 0
+            st["last_failures"] = failures
 
-            needs_human = (stuck_count >= 2
-                           or tool_iterations >= self.max_tool_iterations)
-            if needs_human and human_interventions < self.human_budget:
-                human_interventions += 1
-                stuck_count = 0
+            needs_human = (st["stuck_count"] >= 2
+                           or st["tool_iterations"]
+                           >= self.max_tool_iterations)
+            if needs_human \
+                    and st["human_interventions"] < self.human_budget:
+                st["human_interventions"] += 1
+                st["stuck_count"] = 0
                 # The human reads both the design and the testbench, so they
                 # can tell which one is wrong (ground truth is fair game for
                 # the human oracle, unlike for the model).
+                generation = st["generation"]
                 if generation.faults or generation.misinterpreted:
-                    generation = self.llm.apply_human_fix(task, generation)
+                    st["generation"] = self.llm.apply_human_fix(task,
+                                                                generation)
+                    record.generations += 1
                 else:
-                    own_tb = _human_fix_testbench(own_tb)
-                continue
-            if tool_iterations >= self.max_tool_iterations:
-                break
-            tool_iterations += 1
+                    st["own_tb"] = _human_fix_testbench(st["own_tb"])
+                return None
+            if st["tool_iterations"] >= self.max_tool_iterations:
+                return "tool-budget"
+            st["tool_iterations"] += 1
             if not verdict.simulated:
                 feedback = "COMPILE ERROR: candidate failed to elaborate"
             else:
                 feedback = (f"simulation: {verdict.failures} of "
                             f"{verdict.checks} checks FAIL")
-            generation = self.llm.refine(task, generation, feedback,
-                                         self.temperature,
-                                         sample_index=tool_iterations)
+            st["generation"] = self.llm.refine(task, st["generation"],
+                                               feedback, self.temperature,
+                                               sample_index=st[
+                                                   "tool_iterations"])
+            record.generations += 1
+            return None
 
-        own_passed = check_design(own_tb, generation.text,
+        LoopKernel(step=step, record=record, budget=budget,
+                   span_name="structured.iteration").run()
+
+        generation = st["generation"]
+        own_passed = check_design(st["own_tb"], generation.text,
                                   problem.module_name).passed
         golden = evaluate_candidate(problem, generation.text)
-        return StructuredFlowResult(
+        record.charge_tokens(self.llm.usage.total_tokens - tokens_before)
+        result = StructuredFlowResult(
             problem_id=problem.problem_id,
             model=self.llm.profile.name,
             success=golden.passed,
-            tool_iterations=tool_iterations,
-            human_interventions=human_interventions,
             own_tb_passed=own_passed,
             coverage_gap=own_passed and not golden.passed,
-            generated_tb_checks=own_tb.n_checks,
+            tool_iterations=st["tool_iterations"],
+            human_interventions=st["human_interventions"],
+            generated_tb_checks=st["own_tb"].n_checks,
         )
+        result.run_record = record
+        return result
 
 
 @dataclass
@@ -166,16 +192,17 @@ def run_structured_sweep(model: str | SimulatedLLM | LLMClient,
                          jobs: int | str | None = None) -> StructuredSweep:
     """Run the structured flow over a problem/seed grid.
 
-    Cells are independent, so with a plain profile name they fan out over
-    ``jobs`` workers (``REPRO_JOBS`` when unset); client instances are not
-    picklable and run serially.  Result ordering is seed-major either way.
+    Cells are independent, so with a plain profile name they go through the
+    :class:`~repro.exec.SweepScheduler` (``REPRO_JOBS`` when ``jobs`` is
+    unset); client instances are not picklable and run serially.  Result
+    ordering is seed-major either way.
     """
     cells = [(problem, model, seed)
              for seed in seeds for problem in problems]
     if isinstance(model, str):
-        from ..exec import ParallelEvaluator, structured_flow_task
+        from ..exec import SweepScheduler, structured_flow_task
         return StructuredSweep(
-            ParallelEvaluator(jobs).map(structured_flow_task, cells))
+            SweepScheduler(jobs).map(structured_flow_task, cells))
     sweep = StructuredSweep()
     for problem, _, seed in cells:
         flow = StructuredFeedbackFlow(resolve_client(model, seed=seed))

@@ -7,7 +7,10 @@ consistency, and select the best design."
 Candidates are clustered by their output signature on shared random input
 vectors (no golden model needed), and the representative of the largest
 cluster is selected — the same majority-vote logic as self-consistency
-decoding.
+decoding.  The single generate → simulate → cluster pass runs as a
+one-round :class:`repro.engine.RefinementEngine`, so candidate sampling
+rides the engine's concurrent generation path and sweeps share the common
+:class:`~repro.engine.RunRecord` accounting.
 """
 
 from __future__ import annotations
@@ -17,8 +20,10 @@ from dataclasses import dataclass, field
 
 from ..bench.harness import make_task
 from ..bench.problems import Problem
-from ..exec import (ParallelEvaluator, evaluate_candidate_task,
-                    exercise_module_task)
+from ..engine import (Budget, RefinementEngine, RoundState, RunRecord,
+                      Selection, generate_many)
+from ..exec import (ParallelEvaluator, SweepScheduler,
+                    evaluate_candidate_task, exercise_module_task)
 from ..llm.model import Generation, SimulatedLLM
 from ..llm.prompts import Prompt
 from ..service import LLMClient, resolve_client
@@ -38,8 +43,8 @@ class Cluster:
 class VRankResult:
     problem_id: str
     model: str
-    n_candidates: int
-    n_simulated: int            # candidates that compiled and simulated
+    n_candidates: int = field(default=0, kw_only=True)
+    n_simulated: int = field(default=0, kw_only=True)  # compiled & simulated
     clusters: list[Cluster] = field(default_factory=list)
     selected_index: int = -1
     selected_passed: bool = False
@@ -64,7 +69,8 @@ def vrank(problem: Problem,
           model: str | SimulatedLLM | LLMClient = "gpt-4",
           n_candidates: int = 8, n_vectors: int = 12,
           temperature: float = 0.9, *, seed: int = 0,
-          jobs: int | str | None = None) -> VRankResult:
+          jobs: int | str | None = None,
+          budget: Budget | None = None) -> VRankResult:
     """Run the full VRank flow on one problem.
 
     Candidate simulations are independent, so both the signature pass and
@@ -75,10 +81,6 @@ def vrank(problem: Problem,
     task = make_task(problem)
     prompt = Prompt(spec=problem.spec)
     rng = random.Random(seed * 7919 + 13)
-
-    generations: list[Generation] = [
-        llm.generate(task, prompt, temperature, sample_index=i)
-        for i in range(n_candidates)]
 
     # Input widths from the reference interface (public knowledge: the spec
     # fixes the port list).
@@ -98,34 +100,64 @@ def vrank(problem: Problem,
     vectors = _make_vectors(problem, n_vectors, rng, widths)
 
     result = VRankResult(problem.problem_id, llm.profile.name,
-                         n_candidates, 0)
+                         n_candidates=n_candidates)
+    record = RunRecord(flow="vrank", problem_id=problem.problem_id,
+                       model=llm.profile.name)
+    tokens_before = llm.usage.total_tokens
     evaluator = ParallelEvaluator(jobs)
-    sig_payloads = [(g.text, problem.module_name, vectors, clk_name, "rst")
-                    for g in generations]
-    signatures: list[str | None] = []
-    for sig_rows in evaluator.map(exercise_module_task, sig_payloads):
-        if sig_rows is None:
-            signatures.append(None)
-            continue
-        result.n_simulated += 1
-        signatures.append(repr(sig_rows))
 
-    clusters: dict[str, Cluster] = {}
-    for index, signature in enumerate(signatures):
-        if signature is None:
-            continue
-        clusters.setdefault(signature, Cluster(signature)).members.append(index)
-    result.clusters = sorted(clusters.values(), key=lambda c: -c.size)
+    def candidates(state: RoundState) -> list[Generation]:
+        return generate_many(llm, task, prompt, temperature,
+                             sample_indices=range(n_candidates))
 
-    if result.clusters:
-        result.selected_index = result.clusters[0].members[0]
-    passes = [r.passed for r in evaluator.map(
-        evaluate_candidate_task,
-        [(problem, g.text, 200_000) for g in generations])]
-    result.any_passed = any(passes)
-    result.first_passed = passes[0] if passes else False
-    if result.selected_index >= 0:
-        result.selected_passed = passes[result.selected_index]
+    def evaluate(state: RoundState, gens: list[Generation]) -> list:
+        signatures = evaluator.map(
+            exercise_module_task,
+            [(g.text, problem.module_name, vectors, clk_name, "rst")
+             for g in gens])
+        testbenches = evaluator.map(
+            evaluate_candidate_task,
+            [(problem, g.text, 200_000) for g in gens])
+        return list(zip(signatures, testbenches))
+
+    def select(state: RoundState, gens: list[Generation],
+               outcomes: list) -> Selection:
+        signatures: list[str | None] = []
+        for sig_rows, _tb in outcomes:
+            if sig_rows is None:
+                signatures.append(None)
+                continue
+            result.n_simulated += 1
+            signatures.append(repr(sig_rows))
+
+        clusters: dict[str, Cluster] = {}
+        for index, signature in enumerate(signatures):
+            if signature is None:
+                continue
+            clusters.setdefault(signature,
+                                Cluster(signature)).members.append(index)
+        result.clusters = sorted(clusters.values(), key=lambda c: -c.size)
+        if result.clusters:
+            result.selected_index = result.clusters[0].members[0]
+
+        passes = [tb.passed for _sig, tb in outcomes]
+        result.any_passed = any(passes)
+        result.first_passed = passes[0] if passes else False
+        if result.selected_index >= 0:
+            result.selected_passed = passes[result.selected_index]
+        chosen = max(result.selected_index, 0)
+        return Selection(
+            best_index=result.selected_index,
+            best_candidate=gens[chosen] if gens else None,
+            best_outcome=outcomes[chosen] if outcomes else None,
+            best_score=float(result.selected_passed),
+            scores=[float(p) for p in passes])
+
+    RefinementEngine(candidates=candidates, evaluate=evaluate, select=select,
+                     record=record, budget=budget, max_rounds=1,
+                     span_name="vrank.round").run()
+    record.charge_tokens(llm.usage.total_tokens - tokens_before)
+    result.run_record = record
     return result
 
 
@@ -157,7 +189,19 @@ def vrank_sweep(problems: list[Problem],
                 n_candidates: int = 8, temperature: float = 0.9, *,
                 seeds: tuple[int, ...] = (0, 1, 2),
                 jobs: int | str | None = None) -> VRankSweep:
+    """Grid of :func:`vrank` cells; scheduled across ``jobs`` workers.
+
+    Each cell already builds its own seeded client, so scheduling only
+    changes when a cell runs, never what it computes.  A pre-built client
+    instance cannot be shipped to workers and keeps the serial path.
+    """
     sweep = VRankSweep()
+    if isinstance(model, str):
+        from ..exec.tasks import vrank_cell_task
+        cells = [(problem, model, n_candidates, temperature, seed)
+                 for seed in seeds for problem in problems]
+        sweep.results.extend(SweepScheduler(jobs).map(vrank_cell_task, cells))
+        return sweep
     for seed in seeds:
         for problem in problems:
             sweep.results.append(vrank(problem, model, n_candidates,

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..engine import Budget, LoopKernel, RoundState, RunRecord
 from ..llm.model import SimulatedLLM, _stable_seed
 from ..llm.rag import VectorIndex, build_template_index
 from ..obs import get_tracer
@@ -141,24 +142,27 @@ class HlsRepairEngine:
 
     # -- main entry ---------------------------------------------------------------------
 
-    def repair(self, source: str, top: str,
-               clock_ns: float = 10.0) -> RepairResult:
+    def repair(self, source: str, top: str, clock_ns: float = 10.0,
+               budget: Budget | None = None) -> RepairResult:
         tracer = get_tracer()
         with tracer.span("hls.repair", top=top,
                          model=self.llm.profile.name,
                          use_rag=self.use_rag) as repair_span:
-            result = self._repair_impl(source, top, clock_ns, tracer)
+            result = self._repair_impl(source, top, clock_ns, tracer, budget)
             repair_span.set(success=result.success, rounds=result.rounds,
                             issues_found=len(result.issues_found),
                             issues_fixed=len(result.issues_fixed))
         return result
 
     def _repair_impl(self, source: str, top: str, clock_ns: float,
-                     tracer) -> RepairResult:
+                     tracer, budget: Budget | None = None) -> RepairResult:
         rng = random.Random(_stable_seed(self.seed, self.llm.profile.name,
                                          top, len(source), self.use_rag))
         result = RepairResult(success=False, original_source=source,
                               repaired_source=source)
+        record = RunRecord(flow="hls.repair", problem_id=top,
+                           model=self.llm.profile.name)
+        result.run_record = record
         try:
             program = cparse(source)
         except CParseError as exc:
@@ -167,11 +171,17 @@ class HlsRepairEngine:
 
         original_program = program
         fixed_ids: list[str] = []
+        # The repair rounds run on the LoopKernel with ``span_name=None``:
+        # the ``hls.repair.round`` span below keeps its round_no creation
+        # attribute and stays a direct child of ``hls.repair``.
+        st = {"program": program}
 
-        for round_no in range(1, self.max_rounds + 1):
+        def step(state: RoundState, _sp) -> str | None:
+            round_no = state.round_no
             result.rounds = round_no
             with tracer.span("hls.repair.round", round_no=round_no) as sp:
-                report = check_compatibility(program, top)
+                report = check_compatibility(st["program"], top)
+                record.tool_evaluations += 1
                 result.log.append(StageLog(
                     "preprocess", f"round {round_no}: {report.error_log()}"))
                 detected, missed = self._detect_issues(report, rng)
@@ -181,12 +191,12 @@ class HlsRepairEngine:
                 sp.set(issues=len(report.issues), detected=len(detected),
                        latent_missed=missed)
                 if not report.issues:
-                    break
+                    return "clean"
                 if not detected:
                     result.log.append(StageLog(
                         "repair",
                         "issues remain but none detected this round"))
-                    break
+                    return "undetected"
                 progress = False
                 fixed_this_round = 0
                 for issue in detected:
@@ -203,9 +213,10 @@ class HlsRepairEngine:
                             "repair", f"{template.template_id}: model "
                                       f"application failed for {issue.code}"))
                         continue
-                    outcome = template.apply(program, issue)
+                    record.generations += 1
+                    outcome = template.apply(st["program"], issue)
                     if outcome.applied:
-                        program = outcome.program
+                        st["program"] = outcome.program
                         progress = True
                         fixed_this_round += 1
                         fixed_ids.append(
@@ -219,7 +230,12 @@ class HlsRepairEngine:
                                       f"applicable ({outcome.note})"))
                 sp.set(fixed=fixed_this_round)
                 if not progress:
-                    break
+                    return "no-progress"
+            return None
+
+        LoopKernel(step=step, record=record, budget=budget,
+                   max_rounds=self.max_rounds, span_name=None).run()
+        program = st["program"]
 
         final_report = check_compatibility(program, top)
         result.issues_fixed = fixed_ids

@@ -194,6 +194,28 @@ class SimulatedLLM:
                           completion_tokens, previous.style_seed,
                           misinterpreted)
 
+    def generate_many(self, task: GenerationTask,
+                      prompt: Prompt | None = None,
+                      temperature: float = 0.7, *,
+                      sample_indices=(0,)) -> "list[Generation]":
+        """``k`` candidates, one per sample index — the deterministic
+        sequential form of the :class:`repro.service.LLMClient` protocol's
+        batched entry point.  Each candidate is keyed by the same
+        ``(task, temperature, sample_index)`` tuple as a lone
+        :meth:`generate` call, so batched and one-at-a-time sampling are
+        byte-identical."""
+        return [self.generate(task, prompt, temperature, sample_index=i)
+                for i in sample_indices]
+
+    def refine_many(self, task: GenerationTask, previous: Generation,
+                    feedback: str, temperature: float = 0.7, *,
+                    sample_indices=(0,)) -> "list[Generation]":
+        """``k`` refinements of one candidate; sequential counterpart of
+        :meth:`generate_many`."""
+        return [self.refine(task, previous, feedback, temperature,
+                            sample_index=i)
+                for i in sample_indices]
+
     def apply_human_fix(self, task: GenerationTask,
                         previous: Generation) -> Generation:
         """Simulate precise human feedback: an experienced engineer points at

@@ -50,6 +50,15 @@ class LLMClient(Protocol):
     def apply_human_fix(self, task: GenerationTask,
                         previous: Generation) -> Generation: ...
 
+    def generate_many(self, task: GenerationTask,
+                      prompt: Prompt | None = None,
+                      temperature: float = 0.7, *,
+                      sample_indices=(0,)) -> list[Generation]: ...
+
+    def refine_many(self, task: GenerationTask, previous: Generation,
+                    feedback: str, temperature: float = 0.7, *,
+                    sample_indices=(0,)) -> list[Generation]: ...
+
     def chat(self, system: str = "") -> ChatSession: ...
 
     def derive(self, seed: int) -> "LLMClient": ...
@@ -100,31 +109,84 @@ class ServiceClient:
         from ..llm.model import _stable_seed
         return _stable_seed(self.backend.seed, self.profile.name, *parts)
 
-    def generate(self, task: GenerationTask, prompt: Prompt | None = None,
-                 temperature: float = 0.7,
-                 sample_index: int = 0) -> Generation:
+    def submit_generate(self, task: GenerationTask,
+                        prompt: Prompt | None = None,
+                        temperature: float = 0.7, sample_index: int = 0):
+        """Enqueue a generation on its lane without blocking.
+
+        Returns the lane future.  This is the seam
+        :class:`~repro.engine.GenerationBatch` uses to put a whole round of
+        candidates in flight at once, which is what lets the lane's linger
+        window close over a real micro-batch instead of a single request.
+        """
         key = self._key("generate", task.task_id, round(temperature, 3),
                         sample_index)
-        return self.broker.call(self.backend, "generate",
-                                (task, prompt, temperature, sample_index),
-                                key=key, timeout=self.timeout)
+        return self.broker.submit(self.backend, "generate",
+                                  (task, prompt, temperature, sample_index),
+                                  key=key, timeout=self.timeout)
 
-    def refine(self, task: GenerationTask, previous: Generation,
-               feedback: str, temperature: float = 0.7,
-               sample_index: int = 0) -> Generation:
+    def submit_refine(self, task: GenerationTask, previous: Generation,
+                      feedback: str, temperature: float = 0.7,
+                      sample_index: int = 0):
         key = self._key("refine", task.task_id, previous.style_seed,
                         sample_index, feedback)
-        return self.broker.call(
+        return self.broker.submit(
             self.backend, "refine",
             (task, previous, feedback, temperature, sample_index),
             key=key, timeout=self.timeout)
 
+    def submit_human_fix(self, task: GenerationTask, previous: Generation):
+        key = self._key("human_fix", task.task_id, previous.style_seed)
+        return self.broker.submit(self.backend, "apply_human_fix",
+                                  (task, previous), key=key,
+                                  timeout=self.timeout)
+
+    def _wait(self, future) -> Generation:
+        # The lane enforces the queue deadline; the margin here only guards
+        # against a wedged worker (mirrors ModelBroker.call).
+        wait = None if self.timeout is None else self.timeout * 2 + 1.0
+        return future.result(timeout=wait)
+
+    def generate(self, task: GenerationTask, prompt: Prompt | None = None,
+                 temperature: float = 0.7,
+                 sample_index: int = 0) -> Generation:
+        return self._wait(self.submit_generate(task, prompt, temperature,
+                                               sample_index))
+
+    def refine(self, task: GenerationTask, previous: Generation,
+               feedback: str, temperature: float = 0.7,
+               sample_index: int = 0) -> Generation:
+        return self._wait(self.submit_refine(task, previous, feedback,
+                                             temperature, sample_index))
+
     def apply_human_fix(self, task: GenerationTask,
                         previous: Generation) -> Generation:
-        key = self._key("human_fix", task.task_id, previous.style_seed)
-        return self.broker.call(self.backend, "apply_human_fix",
-                                (task, previous), key=key,
-                                timeout=self.timeout)
+        return self._wait(self.submit_human_fix(task, previous))
+
+    # -- batched entry points -------------------------------------------------
+
+    def generate_many(self, task: GenerationTask,
+                      prompt: Prompt | None = None,
+                      temperature: float = 0.7, *,
+                      sample_indices=(0,)) -> list[Generation]:
+        """``k`` candidates submitted concurrently (windowed by
+        ``REPRO_GEN_CONCURRENCY``) so the lane coalesces micro-batches;
+        results come back in ``sample_indices`` order."""
+        from ..engine.generate import GenerationBatch
+        batch = GenerationBatch(self)
+        for i in sample_indices:
+            batch.generate(task, prompt, temperature, sample_index=i)
+        return batch.gather()
+
+    def refine_many(self, task: GenerationTask, previous: Generation,
+                    feedback: str, temperature: float = 0.7, *,
+                    sample_indices=(0,)) -> list[Generation]:
+        from ..engine.generate import GenerationBatch
+        batch = GenerationBatch(self)
+        for i in sample_indices:
+            batch.refine(task, previous, feedback, temperature,
+                         sample_index=i)
+        return batch.gather()
 
 
 def resolve_client(model: "str | SimulatedLLM | LLMClient", *,

@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from ..engine import Budget, LoopKernel, RoundState, RunRecord
 from ..llm.model import SimulatedLLM, _stable_seed
 from ..obs import get_tracer
 from ..riscv.fpga import FpgaPowerMeter
@@ -95,40 +96,42 @@ class SltOptimizer:
             power = measurement.watts if measurement.ok else 0.0
             self.pool.consider(Candidate(source, genome, power, -(i + 1)))
 
-    def run(self, stop: StopCondition) -> SltRunResult:
+    def run(self, stop: StopCondition,
+            budget: Budget | None = None) -> SltRunResult:
         rng = random.Random(_stable_seed(self.seed, self.llm.profile.name,
                                          "slt-loop"))
         self._seed_pool()
         best = self.pool.best
-        best_power = best.power_w if best else 0.0
-        best_source = best.source if best else ""
+        st = {"best_power": best.power_w if best else 0.0,
+              "best_source": best.source if best else "",
+              "since_improvement": 0, "compile_failures": 0}
         events: list[LoopEvent] = []
-        compile_failures = 0
-        snippet_id = 0
-        since_improvement = 0
-        reason = "no iterations"
-
+        record = RunRecord(flow="slt", model=self.llm.profile.name)
         tracer = get_tracer()
-        while True:
+
+        # The loop runs on the LoopKernel with ``span_name=None``: each
+        # iteration opens its own ``slt.iteration`` span below, so the
+        # snippet_id attribute lands at span creation exactly as before.
+        def should_stop(state: RoundState) -> str | None:
+            return stop.should_stop(self.meter.elapsed_hours, state.round_no,
+                                    st["since_improvement"])
+
+        def step(state: RoundState, _sp) -> str | None:
+            snippet_id = state.round_no
             # The span's elapsed_hours attribute is the same meter clock the
             # StopCondition elapsed-time clause reads, so a trace shows
             # exactly how close each iteration ran to the time budget.
-            reason_now = stop.should_stop(self.meter.elapsed_hours,
-                                          snippet_id, since_improvement)
-            if reason_now is not None:
-                reason = reason_now
-                break
-            snippet_id += 1
-
             with tracer.span("slt.iteration", snippet_id=snippet_id) as sp:
                 examples = self.pool.sample_examples(
                     self.config.examples_per_prompt, rng)
                 generation = self.generator.generate(
                     examples, self.temperature.temperature, snippet_id)
+                record.generations += 1
                 measurement = self.meter.measure_c(generation.source)
+                record.tool_evaluations += 1
                 power = measurement.watts if measurement.ok else 0.0
                 if not measurement.ok:
-                    compile_failures += 1
+                    st["compile_failures"] += 1
 
                 admitted = False
                 distance = self.pool.distance_to_pool(generation.source)
@@ -136,42 +139,51 @@ class SltOptimizer:
                     admitted = self.pool.consider(Candidate(
                         generation.source, generation.genome, power,
                         snippet_id))
-                if power > best_power:
-                    best_power = power
-                    best_source = generation.source
-                    since_improvement = 0
+                if power > st["best_power"]:
+                    st["best_power"] = power
+                    st["best_source"] = generation.source
+                    st["since_improvement"] = 0
                 else:
-                    since_improvement += 1
+                    st["since_improvement"] += 1
 
                 if self.config.adapt_temperature:
-                    self.temperature.update(power, best_power, distance,
+                    self.temperature.update(power, st["best_power"], distance,
                                             self.pool.min_distance)
                 events.append(LoopEvent(
-                    snippet_id, self.meter.elapsed_hours, power, best_power,
-                    self.temperature.temperature, admitted, measurement.ok))
-                sp.set(power_w=round(power, 4), best_w=round(best_power, 4),
+                    snippet_id, self.meter.elapsed_hours, power,
+                    st["best_power"], self.temperature.temperature, admitted,
+                    measurement.ok))
+                sp.set(power_w=round(power, 4),
+                       best_w=round(st["best_power"], 4),
                        admitted=admitted, compiled=measurement.ok,
                        elapsed_hours=round(self.meter.elapsed_hours, 4),
                        temperature=round(self.temperature.temperature, 3))
-            reason = "exhausted"
+            return None
 
-        return SltRunResult(
-            best_power_w=best_power,
-            best_source=best_source,
-            snippets_generated=snippet_id,
+        LoopKernel(step=step, stop=should_stop, record=record, budget=budget,
+                   span_name=None).run()
+
+        result = SltRunResult(
+            best_power_w=st["best_power"],
+            best_source=st["best_source"],
+            snippets_generated=record.rounds_used,
             elapsed_hours=self.meter.elapsed_hours,
-            stop_reason=reason,
+            stop_reason=record.stop_reason or record.budget_exhausted
+            or "no iterations",
             events=events,
             pool_final_diversity=self.pool.mean_pairwise_distance(),
-            compile_failures=compile_failures,
+            compile_failures=st["compile_failures"],
         )
+        result.run_record = record
+        return result
 
 
 def run_llm_slt(model: str = "codellama-34b-instruct-ft", hours: float = 24.0,
                 seed: int = 0, use_scot: bool = True,
                 adapt_temperature: bool = True,
                 enforce_diversity: bool = True,
-                meter: FpgaPowerMeter | None = None) -> SltRunResult:
+                meter: FpgaPowerMeter | None = None,
+                budget: Budget | None = None) -> SltRunResult:
     """One-call LLM SLT run with the paper's default setup."""
     meter = meter or FpgaPowerMeter(seed=seed)
     config = SltConfig(use_scot=use_scot, adapt_temperature=adapt_temperature,
@@ -180,7 +192,7 @@ def run_llm_slt(model: str = "codellama-34b-instruct-ft", hours: float = 24.0,
                              seed=seed)
     with get_tracer().span("slt.run", model=model, hours=hours,
                            seed=seed) as sp:
-        result = optimizer.run(StopCondition(max_hours=hours))
+        result = optimizer.run(StopCondition(max_hours=hours), budget=budget)
         sp.set(stop_reason=result.stop_reason,
                snippets=result.snippets_generated,
                best_power_w=round(result.best_power_w, 4))

@@ -43,6 +43,42 @@ class TestFlowsCli:
         assert "vrank" in capsys.readouterr().out
 
 
+class TestFlowsCliBudget:
+    def test_nonpositive_budget_tokens(self, capsys):
+        assert flows_main(["autochip", "--problems", "c2_gray",
+                           "--budget-tokens", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid budget" in err
+        assert "max_tokens" in err
+
+    def test_negative_deadline(self, capsys):
+        assert flows_main(["autochip", "--problems", "c2_gray",
+                           "--deadline-s", "-1.5"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid budget" in err
+        assert "deadline_s" in err
+
+    def test_non_integer_budget_evals(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            flows_main(["autochip", "--budget-evals", "three"])
+        assert excinfo.value.code == 2
+        assert "--budget-evals" in capsys.readouterr().err
+
+    def test_budget_on_flow_without_support(self, capsys):
+        assert flows_main(["vrank", "--problems", "c2_gray",
+                           "--budget-tokens", "1000"]) == 2
+        err = capsys.readouterr().err
+        assert "does not support" in err
+
+    def test_budget_truncates_autochip(self, capsys):
+        # One eval allowed: the run stops after its first round.
+        assert flows_main(["autochip", "--problems", "c2_gray",
+                           "--model", "chatgpt-3.5",
+                           "--budget-evals", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "c2_gray" in out
+
+
 class TestObsReportCli:
     def test_no_arguments_prints_usage(self, capsys):
         assert report_main([]) == 2
