@@ -33,6 +33,9 @@ ENV_SERVICE_QUEUE = "REPRO_SERVICE_QUEUE"
 ENV_SERVICE_RETRIES = "REPRO_SERVICE_RETRIES"
 ENV_FULL_EVAL = "REPRO_FULL_EVAL"
 ENV_GEN_CONCURRENCY = "REPRO_GEN_CONCURRENCY"
+ENV_SIM_ENGINE = "REPRO_SIM_ENGINE"
+
+_SIM_ENGINES = ("auto", "event", "compiled")
 
 _FALSY = ("", "0", "false", "no", "off")
 
@@ -167,6 +170,30 @@ class Settings:
         """
         return max(1, self.env_int(ENV_GEN_CONCURRENCY, 8))
 
+    # -- simulation engine ---------------------------------------------------
+
+    @property
+    def sim_engine(self) -> str:
+        """Which simulation engine ``run_testbench`` uses.
+
+        ``auto`` (default) picks the compiled fast path when the design is
+        eligible and falls back to the event-driven simulator otherwise;
+        ``event`` forces the event engine; ``compiled`` insists on the
+        compiled path (still falling back for ineligible designs, so
+        results never change — only speed).  Unrecognized values degrade
+        to ``auto`` with a one-time warning.
+        """
+        raw = self.env_str(ENV_SIM_ENGINE).lower()
+        if not raw:
+            return "auto"
+        if raw in _SIM_ENGINES:
+            return raw
+        _warn_once(
+            f"{ENV_SIM_ENGINE} environment variable", raw,
+            f"{ENV_SIM_ENGINE} environment variable value {raw!r} is not "
+            f"one of {_SIM_ENGINES}; falling back to 'auto'")
+        return "auto"
+
     # -- benchmarks ----------------------------------------------------------
 
     @property
@@ -187,6 +214,7 @@ class Settings:
             "service_queue_capacity": self.service_queue_capacity,
             "service_max_retries": self.service_max_retries,
             "gen_concurrency": self.gen_concurrency,
+            "sim_engine": self.sim_engine,
             "full_eval": self.full_eval,
         }
 

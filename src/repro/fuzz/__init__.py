@@ -1,7 +1,7 @@
 """``repro.fuzz`` — differential fuzzing of the mini-Verilog stack.
 
 A seeded grammar generator (:mod:`repro.fuzz.grammar`) emits
-random-but-valid designs plus matching testbenches; five differential
+random-but-valid designs plus matching testbenches; six differential
 oracles (:mod:`repro.fuzz.oracles`) cross-check the toolchain against
 itself — simulation vs synthesis, cached vs cold compiles, parallel vs
 serial evaluation, brokered vs direct model clients, and parse/unparse

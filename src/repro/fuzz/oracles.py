@@ -1,4 +1,4 @@
-"""Differential oracles: five independent ways a fuzz case can disagree.
+"""Differential oracles: six independent ways a fuzz case can disagree.
 
 Each oracle compares two implementations that the repo *claims* are
 equivalent (the PR 1–3 equivalence stories plus the core sim-vs-synth
@@ -10,6 +10,7 @@ with ``ok=False`` is a finding worth shrinking.
 (c) ``parallel``  — ``ParallelEvaluator.map`` vs a serial comprehension
 (d) ``service``   — broker-mediated client vs direct ``SimulatedLLM``
 (e) ``roundtrip`` — parse → unparse → reparse is a structural fixpoint
+(f) ``compiled``  — compiled straight-line engine vs the event engine
 """
 
 from __future__ import annotations
@@ -215,12 +216,51 @@ def oracle_roundtrip(case: FuzzCase) -> OracleReport:
     return OracleReport("roundtrip", ok=True)
 
 
+# --------------------------------------------------------------------------
+# (f) compiled engine vs event-driven engine
+# --------------------------------------------------------------------------
+
+
+def oracle_compiled(case: FuzzCase) -> OracleReport:
+    """The compiled fast path must reproduce the event engine exactly.
+
+    Ineligible designs and runtime bails are skips, not findings — the
+    production selector falls back to the event engine for them — but any
+    *completed* compiled run must match field-for-field.
+    """
+    from ..hdl.compiled import UnsupportedDesign, XBail, compile_program
+    from ..hdl.testbench import _simulate_compiled
+    try:
+        design = elaborate(parse(case.combined_source()), case.top)
+    except HdlError as exc:
+        return OracleReport("compiled", ok=True, skipped=True,
+                            detail=f"case does not compile: {exc}")
+    try:
+        program = compile_program(design)
+    except UnsupportedDesign as exc:
+        return OracleReport("compiled", ok=True, skipped=True,
+                            detail=f"ineligible for compiled engine: {exc}")
+    try:
+        fast = _simulate_compiled(program, MAX_SIM_TIME, 1)
+    except XBail as exc:
+        return OracleReport("compiled", ok=True, skipped=True,
+                            detail=f"compiled engine bailed: {exc}")
+    ref = _simulate(design, MAX_SIM_TIME, 1)
+    f_fast, f_ref = _result_fields(fast), _result_fields(ref)
+    if f_fast != f_ref:
+        return OracleReport(
+            "compiled", ok=False, kind="compiled-vs-event",
+            detail=_diff("compiled", f_fast, "event", f_ref))
+    return OracleReport("compiled", ok=True)
+
+
 ORACLES: dict[str, object] = {
     "synth": oracle_synth,
     "cache": oracle_cache,
     "parallel": oracle_parallel,
     "service": oracle_service,
     "roundtrip": oracle_roundtrip,
+    "compiled": oracle_compiled,
 }
 
 

@@ -9,6 +9,8 @@ from .ast import Module, SourceFile
 from .compile import (CacheStats, CompileCache, CompiledDesign,
                       CompiledSource, compile_design, get_default_cache,
                       set_default_cache, source_key)
+from .compiled import (CompiledProgram, CompiledSim, UnsupportedDesign,
+                       XBail, compile_program)
 from .errors import (ElaborationError, HdlError, LexError, LintWarning,
                      ParseError, SimulationError)
 from .elaborate import Design, elaborate
@@ -22,12 +24,13 @@ from .unparse import strip_locations, unparse, unparse_module
 from .values import Logic, concat_all
 
 __all__ = [
-    "CacheStats", "CompileCache", "CompiledDesign", "CompiledSource",
-    "Design", "ElaborationError", "HdlError", "LexError", "LintWarning",
-    "Logic", "Module", "ParseError", "SimulationError", "Simulator",
-    "SourceFile", "StimulusRunner", "TestbenchResult", "compile_design",
-    "concat_all", "elaborate", "exercise_module", "get_default_cache",
-    "lint_module", "lint_source", "parse", "parse_module", "run_testbench",
-    "set_default_cache", "source_key", "strip_locations", "tokenize",
-    "unparse", "unparse_module",
+    "CacheStats", "CompileCache", "CompiledDesign", "CompiledProgram",
+    "CompiledSim", "CompiledSource", "Design", "ElaborationError",
+    "HdlError", "LexError", "LintWarning", "Logic", "Module", "ParseError",
+    "SimulationError", "Simulator", "SourceFile", "StimulusRunner",
+    "TestbenchResult", "UnsupportedDesign", "XBail", "compile_design",
+    "compile_program", "concat_all", "elaborate", "exercise_module",
+    "get_default_cache", "lint_module", "lint_source", "parse",
+    "parse_module", "run_testbench", "set_default_cache", "source_key",
+    "strip_locations", "tokenize", "unparse", "unparse_module",
 ]

@@ -71,13 +71,42 @@ class CacheStats:
                 "evictions": self.evictions, "hit_rate": self.hit_rate}
 
 
+# Process-wide per-layer counters that survive cache replacement.  Bench
+# harnesses (and some tests) build private ``CompileCache`` instances or
+# reset the default cache mid-run, which used to zero the per-instance
+# stats before the telemetry snapshot was taken — every ``hdl.cache.*``
+# gauge read 0.0 despite thousands of lookups.  The cumulative registry
+# accumulates across *all* instances and is what ``flush_metrics`` merges
+# into snapshots (as ``hdl.cache_cumulative.*``).
+_CUMULATIVE: dict[str, CacheStats] = {}
+_CUM_LOCK = threading.Lock()
+
+
+def _cum(layer: str) -> CacheStats:
+    with _CUM_LOCK:
+        stats = _CUMULATIVE.get(layer)
+        if stats is None:
+            stats = _CUMULATIVE[layer] = CacheStats()
+        return stats
+
+
+def cumulative_gauges(prefix: str = "hdl.cache_cumulative") -> dict[str, float]:
+    """Flat gauge view of the process-wide cache counters."""
+    with _CUM_LOCK:
+        layers = sorted(_CUMULATIVE)
+    return {f"{prefix}.{layer}.{key}": round(float(value), 6)
+            for layer in layers
+            for key, value in _cum(layer).as_dict().items()}
+
+
 class _LruBlobCache:
     """Bounded LRU of pickled blobs (thread-safe; shared by thread pools)."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, cumulative: CacheStats | None = None):
         self.capacity = max(1, int(capacity))
         self._data: OrderedDict[object, bytes] = OrderedDict()
         self.stats = CacheStats()
+        self._cum = cumulative or CacheStats()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -88,9 +117,11 @@ class _LruBlobCache:
             blob = self._data.get(key)
             if blob is None:
                 self.stats.misses += 1
+                self._cum.misses += 1
                 return None
             self._data.move_to_end(key)
             self.stats.hits += 1
+            self._cum.hits += 1
             return blob
 
     def put(self, key: object, blob: bytes) -> None:
@@ -103,6 +134,7 @@ class _LruBlobCache:
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
                 self.stats.evictions += 1
+                self._cum.evictions += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -146,14 +178,20 @@ class CompileCache:
         from ..config import get_settings
         settings = get_settings()
         cap = settings.compile_cache_capacity
-        self._parses = _LruBlobCache(parse_capacity or cap)
-        self._designs = _LruBlobCache(design_capacity or cap)
+        self._parses = _LruBlobCache(parse_capacity or cap, _cum("parse"))
+        self._designs = _LruBlobCache(design_capacity or cap, _cum("design"))
         self._results = _LruBlobCache(
-            result_capacity or settings.result_cache_capacity)
+            result_capacity or settings.result_cache_capacity, _cum("result"))
+        self._programs = _LruBlobCache(design_capacity or cap,
+                                       _cum("program"))
         # Live ASTs for internal linking only (never handed to callers):
         # avoids an unpickle on the design-miss path.  Bounded alongside
         # the parse LRU by periodic pruning.
         self._live: dict[str, A.SourceFile] = {}
+        # Live compiled-program entries: keeps the exec'd namespace warm
+        # (re-exec'ing generated source is the expensive half of a program
+        # unpickle).  Bounded the same way as ``_live``.
+        self._live_programs: dict[tuple, tuple] = {}
         self._lock = threading.Lock()
 
     # -- parse layer --------------------------------------------------------
@@ -166,6 +204,7 @@ class CompileCache:
             live = self._live.get(key)
         if live is not None:
             self._parses.stats.hits += 1
+            self._parses._cum.hits += 1
             return key, live
         blob = self._parses.get(key)
         if blob is not None:
@@ -223,6 +262,40 @@ class CompileCache:
         return CompiledDesign(dkey, top, pickle.loads(blob),
                               from_cache=False, units=keys)
 
+    # -- compiled-program layer ---------------------------------------------
+
+    def get_program(self, design_key: tuple) -> tuple | None:
+        """Cached compiled-engine entry for a design key.
+
+        Returns ``("ok", CompiledProgram)``, ``("ineligible", reason)`` —
+        negative results are cached too, so an unsupported design is
+        analysed once — or ``None`` on a miss.
+        """
+        with self._lock:
+            live = self._live_programs.get(design_key)
+        if live is not None:
+            self._programs.stats.hits += 1
+            self._programs._cum.hits += 1
+            return live
+        blob = self._programs.get(design_key)
+        if blob is None:
+            return None
+        entry = pickle.loads(blob)
+        with self._lock:
+            if len(self._live_programs) >= self._programs.capacity:
+                self._live_programs.clear()
+            self._live_programs[design_key] = entry
+        return entry
+
+    def put_program(self, design_key: tuple, entry: tuple) -> None:
+        """Store a ``("ok", program)`` / ``("ineligible", reason)`` entry."""
+        self._programs.put(
+            design_key, pickle.dumps(entry, pickle.HIGHEST_PROTOCOL))
+        with self._lock:
+            if len(self._live_programs) >= self._programs.capacity:
+                self._live_programs.clear()
+            self._live_programs[design_key] = entry
+
     # -- result memo --------------------------------------------------------
 
     def get_result(self, key: tuple) -> object | None:
@@ -236,11 +309,12 @@ class CompileCache:
 
     def stats(self) -> dict[str, CacheStats]:
         return {"parse": self._parses.stats, "design": self._designs.stats,
-                "result": self._results.stats}
+                "result": self._results.stats,
+                "program": self._programs.stats}
 
     def stats_dict(self) -> dict[str, dict[str, float]]:
         layers = {"parse": self._parses, "design": self._designs,
-                  "result": self._results}
+                  "result": self._results, "program": self._programs}
         return {name: {**lru.stats.as_dict(), "size": len(lru)}
                 for name, lru in layers.items()}
 
@@ -255,8 +329,10 @@ class CompileCache:
         self._parses.clear()
         self._designs.clear()
         self._results.clear()
+        self._programs.clear()
         with self._lock:
             self._live.clear()
+            self._live_programs.clear()
 
 
 _default_cache = CompileCache()

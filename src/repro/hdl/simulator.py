@@ -585,6 +585,8 @@ class Simulator:
         metrics.counter("sim.delta_cycles").add(self.delta_cycles)
         metrics.counter("sim.nba_updates").add(self.nba_updates)
         metrics.counter("sim.time_slots").add(self.time_slots)
+        metrics.counter("sim.backend.event.runs").add(1)
+        metrics.counter("sim.backend.event.events").add(self.events_processed)
 
     def _run(self, max_time: int) -> None:
         # Time 0: run all comb processes once, then start coroutines.

@@ -14,8 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..obs import get_metrics, get_tracer
 from .compile import (CompileCache, CompiledDesign, cache_enabled,
                       compile_design, get_default_cache, source_key)
+from .compiled import (CompiledProgram, CompiledSim, UnsupportedDesign,
+                       XBail, compile_program)
 from .elaborate import Design
 from .errors import HdlError
 from .simulator import Simulator
@@ -76,6 +79,16 @@ def _copy_result(result: TestbenchResult) -> TestbenchResult:
     return replace(result, output=list(result.output))
 
 
+def _scan_checks(result: TestbenchResult) -> None:
+    for line in result.output:
+        if line.startswith("ERROR:"):
+            continue  # already counted via error_count
+        if "FAIL" in line:
+            result.fail_count += 1
+        elif "PASS" in line:
+            result.pass_count += 1
+
+
 def _simulate(design: Design, max_time: int, seed: int) -> TestbenchResult:
     sim = Simulator(design, seed=seed)
     result = TestbenchResult(compiled=True)
@@ -87,14 +100,70 @@ def _simulate(design: Design, max_time: int, seed: int) -> TestbenchResult:
     result.error_count = sim.error_count
     result.finished = sim.finished
     result.sim_time = sim.time
-    for line in sim.output:
-        if line.startswith("ERROR:"):
-            continue  # already counted via error_count
-        if "FAIL" in line:
-            result.fail_count += 1
-        elif "PASS" in line:
-            result.pass_count += 1
+    _scan_checks(result)
     return result
+
+
+def _simulate_compiled(program: CompiledProgram, max_time: int,
+                       seed: int) -> TestbenchResult:
+    """Run the compiled engine.  Raises :class:`XBail` when the event
+    engine must re-run the case (it reproduces the authoritative error)."""
+    sim = CompiledSim(program, seed=seed)
+    sim.run(max_time=max_time)
+    result = TestbenchResult(compiled=True)
+    result.output = sim.output
+    result.error_count = sim.error_count
+    result.finished = sim.finished
+    result.sim_time = sim.time
+    _scan_checks(result)
+    return result
+
+
+def _obtain_program(compiled: CompiledDesign, cache: CompileCache,
+                    use_cache: bool) -> tuple:
+    """``("ok", program)`` or ``("ineligible", reason)`` for a design,
+    served from the program cache when possible (negative results cache
+    too, so an unsupported design is analysed once)."""
+    if use_cache:
+        entry = cache.get_program(compiled.key)
+        if entry is not None:
+            return entry
+    with get_tracer().span("hdl.compile_program", top=compiled.top) as sp:
+        try:
+            entry = ("ok", compile_program(compiled.design))
+        except UnsupportedDesign as exc:
+            entry = ("ineligible", str(exc))
+        sp.set(eligible=entry[0] == "ok")
+    if use_cache:
+        cache.put_program(compiled.key, entry)
+    return entry
+
+
+def _run_engine(compiled: CompiledDesign, max_time: int, seed: int,
+                mode: str, cache: CompileCache,
+                use_cache: bool) -> TestbenchResult:
+    """Simulate with the selected engine; results are engine-independent.
+
+    ``auto`` uses the compiled fast path only when the program cache can
+    amortize compilation (one-shot uncached runs are faster on the event
+    engine); ``compiled`` always tries it.  Ineligible designs and runtime
+    bails fall back to the event engine — the authoritative semantics.
+    """
+    tracer = get_tracer()
+    if mode == "compiled" or (mode == "auto" and use_cache):
+        entry = _obtain_program(compiled, cache, use_cache)
+        if entry[0] == "ok":
+            try:
+                with tracer.span("hdl.sim", backend="compiled",
+                                 top=compiled.top):
+                    return _simulate_compiled(entry[1], max_time, seed)
+            except XBail:
+                if tracer.enabled:
+                    get_metrics().counter("sim.backend.fallbacks").add(1)
+        elif tracer.enabled:
+            get_metrics().counter("sim.backend.ineligible").add(1)
+    with tracer.span("hdl.sim", backend="event", top=compiled.top):
+        return _simulate(compiled.design, max_time, seed)
 
 
 def run_testbench(source: str, top: str, max_time: int = 200_000,
@@ -108,11 +177,14 @@ def run_testbench(source: str, top: str, max_time: int = 200_000,
     problem.  A run is a pure function of ``(sources, top, max_time, seed)``,
     so identical invocations are served from the result memo.
     """
+    from ..config import get_settings
     units = (source,) if tb_source is None else (source, tb_source)
     use_cache = cache_enabled()
     cache = cache or get_default_cache()
+    mode = get_settings().sim_engine
     if use_cache:
-        rkey = ("tb", tuple(source_key(u) for u in units), top, max_time, seed)
+        rkey = ("tb", tuple(source_key(u) for u in units), top, max_time,
+                seed, mode)
         hit = cache.get_result(rkey)
         if hit is not None:
             return _copy_result(hit)
@@ -131,7 +203,7 @@ def run_testbench(source: str, top: str, max_time: int = 200_000,
         if use_cache:
             cache.put_result(rkey, result)
         return _copy_result(result)
-    result = _simulate(compiled.design, max_time, seed)
+    result = _run_engine(compiled, max_time, seed, mode, cache, use_cache)
     if use_cache:
         cache.put_result(rkey, result)
     return _copy_result(result)

@@ -77,6 +77,37 @@ def metrics_table(records: Iterable[dict]) -> str:
     return format_table(["metric", "kind", "value"], rows)
 
 
+def engine_table(records: Iterable[dict]) -> str:
+    """Per-engine simulation breakdown from ``sim.backend.*`` counters.
+
+    Rows come from the last metrics snapshot: one per backend (event,
+    compiled) plus the selector outcomes (fallbacks, ineligible designs).
+    Returns ``""`` when no engine counters were recorded.
+    """
+    snapshots = [r for r in _coerce_records(records)
+                 if r.get("type") == "metrics"]
+    if not snapshots:
+        return ""
+    counters = snapshots[-1].get("counters", {})
+    backends: dict[str, dict[str, object]] = {}
+    selector_rows: list[list[object]] = []
+    for name, value in counters.items():
+        if not name.startswith("sim.backend."):
+            continue
+        rest = name[len("sim.backend."):]
+        if "." in rest:
+            backend, stat = rest.split(".", 1)
+            backends.setdefault(backend, {})[stat] = value
+        else:
+            selector_rows.append([rest, "-", "-", value])
+    rows = [[backend, stats.get("runs", 0), stats.get("events", 0), "-"]
+            for backend, stats in sorted(backends.items())]
+    rows += sorted(selector_rows)
+    if not rows:
+        return ""
+    return format_table(["sim backend", "runs", "events", "count"], rows)
+
+
 def render(source) -> str:
     """Full run summary: span aggregation plus the latest metrics snapshot.
 
@@ -90,6 +121,10 @@ def render(source) -> str:
     lines.append(span_table(records))
     lines.append("")
     lines.append(metrics_table(records))
+    engines = engine_table(records)
+    if engines:
+        lines.append("")
+        lines.append(engines)
     return "\n".join(lines)
 
 

@@ -1,0 +1,36 @@
+// fuzz finding: oracle=compiled kind=hand-picked
+// campaign seed=0 case=6 top=tb dut=xprop_mix
+// replay: (hand-seeded edge case, not generated)
+// detail: partial-X vectors through the compiled fast path — an undriven
+//   register contributes X bits into a concat while a masked AND keeps its
+//   known-zero bits defined; the compiled engine's (value, xmask) planes
+//   must reproduce the event engine bit-for-bit, including %b rendering
+//   of mixed known/x vectors
+// expect: pass
+module xprop_mix(input [3:0] a, input sel, output [7:0] y, output [3:0] m);
+  reg [3:0] u;
+  assign m = a & 4'b0011;
+  assign y = {u[1:0], a, sel ? 2'b10 : u[3:2]};
+endmodule
+// --- testbench ---
+module tb();
+  reg [3:0] a;
+  reg sel;
+  wire [7:0] y;
+  wire [3:0] m;
+  xprop_mix u0(.a(a), .sel(sel), .y(y), .m(m));
+  initial begin
+    a = 4'hf;
+    sel = 0;
+    #1;
+    $display("m=%b y=%b", m, y);
+    if (m == 4'b0011) $display("PASS: masked AND stays defined");
+    else $display("FAIL: masked AND lost definedness m=%b", m);
+    sel = 1;
+    #1;
+    $display("y=%b", y);
+    if (y[1:0] == 2'b10) $display("PASS: ternary selects defined arm");
+    else $display("FAIL: y=%b", y);
+    $finish;
+  end
+endmodule

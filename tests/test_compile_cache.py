@@ -167,7 +167,7 @@ class TestKnobs:
         compile_design(units, PROBLEM.tb_name, cache=cache)
         compile_design(units, PROBLEM.tb_name, cache=cache)
         stats = cache.stats_dict()
-        assert set(stats) == {"parse", "design", "result"}
+        assert set(stats) == {"parse", "design", "result", "program"}
         assert stats["design"]["hits"] == 1
         assert stats["design"]["misses"] == 1
         assert 0.0 < stats["design"]["hit_rate"] <= 1.0
