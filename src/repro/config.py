@@ -31,6 +31,12 @@ ENV_SERVICE = "REPRO_SERVICE"
 ENV_SERVICE_BATCH = "REPRO_SERVICE_BATCH"
 ENV_SERVICE_QUEUE = "REPRO_SERVICE_QUEUE"
 ENV_SERVICE_RETRIES = "REPRO_SERVICE_RETRIES"
+ENV_SERVICE_BREAKER_THRESHOLD = "REPRO_SERVICE_BREAKER_THRESHOLD"
+ENV_SERVICE_BREAKER_RESET_S = "REPRO_SERVICE_BREAKER_RESET_S"
+ENV_SERVICE_TIMEOUT_S = "REPRO_SERVICE_TIMEOUT_S"
+ENV_SERVICE_SHARDS = "REPRO_SERVICE_SHARDS"
+ENV_SERVICE_WORKERS = "REPRO_SERVICE_WORKERS"
+ENV_SERVICE_TENANT_SHARE = "REPRO_SERVICE_TENANT_SHARE"
 ENV_FULL_EVAL = "REPRO_FULL_EVAL"
 ENV_GEN_CONCURRENCY = "REPRO_GEN_CONCURRENCY"
 ENV_SIM_ENGINE = "REPRO_SIM_ENGINE"
@@ -76,6 +82,20 @@ class Settings:
                 f"{name} environment variable", raw,
                 f"{name} environment variable value {raw!r} is not an "
                 f"integer; falling back to the default ({default})")
+            return default
+
+    @staticmethod
+    def env_float(name: str, default: float) -> float:
+        raw = os.environ.get(name, "").strip()
+        if not raw:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            _warn_once(
+                f"{name} environment variable", raw,
+                f"{name} environment variable value {raw!r} is not a "
+                f"number; falling back to the default ({default})")
             return default
 
     @staticmethod
@@ -157,6 +177,43 @@ class Settings:
     def service_max_retries(self) -> int:
         return max(0, self.env_int(ENV_SERVICE_RETRIES, 3))
 
+    @property
+    def service_breaker_threshold(self) -> int:
+        """Consecutive hard failures that open a lane's circuit breaker."""
+        return max(1, self.env_int(ENV_SERVICE_BREAKER_THRESHOLD, 5))
+
+    @property
+    def service_breaker_reset_s(self) -> float:
+        """Cool-down before an open breaker admits its half-open probe."""
+        return max(0.0, self.env_float(ENV_SERVICE_BREAKER_RESET_S, 0.25))
+
+    @property
+    def service_timeout_s(self) -> float | None:
+        """Default per-request queue deadline; ``0`` or negative disables
+        deadlines entirely (requests wait as long as it takes)."""
+        value = self.env_float(ENV_SERVICE_TIMEOUT_S, 60.0)
+        return None if value <= 0 else value
+
+    @property
+    def service_shards(self) -> int:
+        """Broker shard count; >1 makes :func:`get_default_broker` return a
+        consistent-hash :class:`~repro.service.router.ShardedRouter`."""
+        return max(1, self.env_int(ENV_SERVICE_SHARDS, 1))
+
+    @property
+    def service_workers(self) -> int | None:
+        """Bounded backend-call slots per broker shard (models one serving
+        process's worker pool); ``0`` (default) means one slot per lane."""
+        value = self.env_int(ENV_SERVICE_WORKERS, 0)
+        return None if value <= 0 else value
+
+    @property
+    def service_tenant_share(self) -> float:
+        """Max fraction of total queue capacity one tenant may hold in
+        flight through the router; ``1.0`` disables tenant admission."""
+        value = self.env_float(ENV_SERVICE_TENANT_SHARE, 1.0)
+        return min(1.0, max(0.01, value))
+
     # -- run engine ----------------------------------------------------------
 
     @property
@@ -213,6 +270,12 @@ class Settings:
             "service_batch_size": self.service_batch_size,
             "service_queue_capacity": self.service_queue_capacity,
             "service_max_retries": self.service_max_retries,
+            "service_breaker_threshold": self.service_breaker_threshold,
+            "service_breaker_reset_s": self.service_breaker_reset_s,
+            "service_timeout_s": self.service_timeout_s,
+            "service_shards": self.service_shards,
+            "service_workers": self.service_workers,
+            "service_tenant_share": self.service_tenant_share,
             "gen_concurrency": self.gen_concurrency,
             "sim_engine": self.sim_engine,
             "full_eval": self.full_eval,

@@ -1,0 +1,59 @@
+"""CLI: ``python -m repro.loadgen --users 500 --shards 4``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..core.report import format_table
+from ..service.broker import BrokerConfig
+from .harness import run_load
+from .workload import LoadConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="Replay seeded user sessions against the sharded "
+                    "serving router and report latency/shed/breaker SLOs.")
+    parser.add_argument("--users", type=int, default=500)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=3.0,
+                        help="arrival horizon in seconds (pre-scaling)")
+    parser.add_argument("--time-scale", type=float, default=1.0,
+                        help=">1 compresses the schedule (faster runs)")
+    parser.add_argument("--workers", type=int, default=3,
+                        help="backend-call slots per shard")
+    parser.add_argument("--queue", type=int, default=64,
+                        help="lane queue capacity")
+    parser.add_argument("--tenant-share", type=float, default=0.25)
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="also write the report as JSON to this path")
+    args = parser.parse_args(argv)
+
+    cfg = LoadConfig(users=args.users, seed=args.seed,
+                     duration_s=args.duration, time_scale=args.time_scale)
+    broker_cfg = BrokerConfig(queue_capacity=args.queue,
+                              max_concurrent=args.workers,
+                              request_timeout_s=cfg.request_timeout_s)
+    from ..service.router import ShardedRouter
+    with ShardedRouter(shards=args.shards, config=broker_cfg,
+                       tenant_share=args.tenant_share) as router:
+        report = run_load(cfg, router=router)
+    data = report.as_dict()
+    rows = [[k, v] for k, v in data.items() if k != "per_tenant_ok"]
+    print(format_table(["metric", "value"], rows))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if report.stranded:
+        print(f"error: {report.stranded} stranded futures", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

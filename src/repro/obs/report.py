@@ -108,6 +108,36 @@ def engine_table(records: Iterable[dict]) -> str:
     return format_table(["sim backend", "runs", "events", "count"], rows)
 
 
+def service_table(records: Iterable[dict]) -> str:
+    """Serving-layer breakdown from ``service.*`` metrics.
+
+    One row per broker/router counter (sheds, retries, breaker trips,
+    per-shard request counts), plus batch-size histograms and in-flight
+    gauges from the last metrics snapshot.  Returns ``""`` when the run
+    never touched the service layer.
+    """
+    snapshots = [r for r in _coerce_records(records)
+                 if r.get("type") == "metrics"]
+    if not snapshots:
+        return ""
+    snap = snapshots[-1]
+    rows: list[list[object]] = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        if name.startswith("service."):
+            rows.append([name, "counter", value])
+    for name, h in sorted(snap.get("histograms", {}).items()):
+        if name.startswith("service."):
+            rows.append([name, "histogram",
+                         f"n={h['count']} mean={h['mean']:.4g} "
+                         f"max={h['max']:.4g}"])
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        if name.startswith("service."):
+            rows.append([name, "gauge", value])
+    if not rows:
+        return ""
+    return format_table(["service metric", "kind", "value"], rows)
+
+
 def render(source) -> str:
     """Full run summary: span aggregation plus the latest metrics snapshot.
 
@@ -125,6 +155,10 @@ def render(source) -> str:
     if engines:
         lines.append("")
         lines.append(engines)
+    service = service_table(records)
+    if service:
+        lines.append("")
+        lines.append(service)
     return "\n".join(lines)
 
 

@@ -118,12 +118,17 @@ class CircuitBreaker:
             self._failures = 0
             self._state = self.CLOSED
 
-    def record_failure(self) -> None:
+    def record_failure(self) -> bool:
+        """Record a hard failure; returns True when this call *tripped* the
+        breaker (a CLOSED→OPEN transition — re-opening after a failed
+        half-open probe is the same outage, not a new trip)."""
         with self._lock:
             self._failures += 1
+            was_open = self._state == self.OPEN
             if self._failures >= self.threshold or self._state != self.CLOSED:
                 self._state = self.OPEN
                 self._opened_at = self._clock()
+            return self._state == self.OPEN and not was_open
 
 
 @dataclass
@@ -139,13 +144,21 @@ class BrokerConfig:
     breaker_threshold: int = 5
     breaker_reset_s: float = 0.25
     request_timeout_s: float | None = 60.0
+    # Bounded executor slots shared by every lane of one broker (models a
+    # single serving process's worker pool).  None = one slot per lane, the
+    # historical unbounded behaviour.  Scheduling only — results identical.
+    max_concurrent: int | None = None
 
     @classmethod
     def from_settings(cls) -> "BrokerConfig":
         s = get_settings()
         return cls(max_batch=s.service_batch_size,
                    queue_capacity=s.service_queue_capacity,
-                   max_retries=s.service_max_retries)
+                   max_retries=s.service_max_retries,
+                   breaker_threshold=s.service_breaker_threshold,
+                   breaker_reset_s=s.service_breaker_reset_s,
+                   request_timeout_s=s.service_timeout_s,
+                   max_concurrent=s.service_workers)
 
 
 @dataclass
@@ -179,22 +192,51 @@ class _Lane:
 
     def submit(self, request: _Request) -> Future:
         metrics = get_metrics()
-        if not self.breaker.allow():
-            metrics.counter("service.breaker_rejected").add()
-            raise CircuitOpenError(
-                f"circuit breaker open for backend '{self.name}'")
         with self.cond:
+            # Stop-flag check and enqueue are atomic under the lane
+            # condition: the worker's exit check (`stopped and not queue`)
+            # runs under the same condition, so a request admitted here is
+            # guaranteed to be drained before the worker exits.
+            if self.broker.stopped:
+                raise ServiceError("broker is shut down")
             if len(self.queue) >= self.broker.config.queue_capacity:
                 metrics.counter("service.shed").add()
                 raise LoadShedError(
                     f"lane '{self.name}' queue full "
                     f"({self.broker.config.queue_capacity}); request shed")
+            # Only after capacity is confirmed may the breaker spend its
+            # half-open probe: a shed submission must never consume (and
+            # re-arm) the probe, or a saturated lane could hold its breaker
+            # open indefinitely with no backend call ever made.
+            if not self.breaker.allow():
+                metrics.counter("service.breaker_rejected").add()
+                raise CircuitOpenError(
+                    f"circuit breaker open for backend '{self.name}'")
             self.queue.append(request)
             metrics.gauge(f"service.queue_depth.{self.name}").set(
                 len(self.queue))
             self.cond.notify()
         metrics.counter("service.requests").add()
         return request.future
+
+    def fail_pending(self, exc: Exception) -> int:
+        """Fail every still-queued request with ``exc`` (shutdown path).
+
+        Only requests still in the queue are touched — a request already
+        popped by the worker either completes normally or is failed by the
+        worker itself, so there is no set_result/set_exception race.
+        """
+        failed = 0
+        with self.cond:
+            while self.queue:
+                request = self.queue.popleft()
+                if not request.future.done():
+                    request.future.set_exception(exc)
+                    failed += 1
+            self.cond.notify_all()
+        if failed:
+            get_metrics().counter("service.failed_on_shutdown").add(failed)
+        return failed
 
     # -- worker --------------------------------------------------------------
 
@@ -235,26 +277,31 @@ class _Lane:
         metrics = get_metrics()
         if request.future.cancelled():
             return
-        if (request.deadline is not None
-                and self.broker.clock() > request.deadline):
-            metrics.counter("service.timeouts").add()
-            request.future.set_exception(RequestTimeout(
-                f"request to '{self.name}' missed its deadline in queue"))
-            return
         for attempt in range(cfg.max_retries + 1):
+            # The deadline is re-checked before *every* attempt, not just at
+            # dequeue: a request must not burn the remaining retry/backoff
+            # schedule long past the point its caller stopped waiting.
+            if (request.deadline is not None
+                    and self.broker.clock() > request.deadline):
+                metrics.counter("service.timeouts").add()
+                where = "in queue" if attempt == 0 else \
+                    f"after {attempt} attempt(s)"
+                request.future.set_exception(RequestTimeout(
+                    f"request to '{self.name}' missed its deadline {where}"))
+                return
             try:
                 method = getattr(request.backend, request.kind)
-                result = method(*request.args, **request.kwargs)
+                result = self.broker._invoke(method, request)
             except TransientBackendError as exc:
                 metrics.counter("service.retries").add()
                 if attempt >= cfg.max_retries:
-                    self.breaker.record_failure()
+                    self._record_failure()
                     metrics.counter("service.failures").add()
                     request.future.set_exception(exc)
                     return
                 self.broker.sleeper(self._backoff(request.key, attempt))
             except Exception as exc:
-                self.breaker.record_failure()
+                self._record_failure()
                 metrics.counter("service.failures").add()
                 request.future.set_exception(exc)
                 return
@@ -262,6 +309,10 @@ class _Lane:
                 self.breaker.record_success()
                 request.future.set_result(result)
                 return
+
+    def _record_failure(self) -> None:
+        if self.breaker.record_failure():
+            get_metrics().counter("service.breaker_trips").add()
 
     def _backoff(self, key: int, attempt: int) -> float:
         """Exponential backoff with deterministic jitter.
@@ -288,13 +339,21 @@ class ModelBroker:
         self.stopped = False
         self._lanes: dict[str, _Lane] = {}
         self._lock = threading.Lock()
+        self._slots = (threading.BoundedSemaphore(self.config.max_concurrent)
+                       if self.config.max_concurrent else None)
 
     # -- public --------------------------------------------------------------
 
     def submit(self, backend, kind: str, args: tuple = (),
                kwargs: dict | None = None, key: int = 0,
-               timeout: float | None = None) -> Future:
-        """Enqueue one backend call; returns a future for its result."""
+               timeout: float | None = None,
+               tenant: str | None = None) -> Future:
+        """Enqueue one backend call; returns a future for its result.
+
+        ``tenant`` is accepted for interface parity with
+        :class:`~repro.service.router.ShardedRouter` (which enforces
+        per-tenant admission); a bare broker does not differentiate tenants.
+        """
         if self.stopped:
             raise ServiceError("broker is shut down")
         lane = self._lane(backend.profile.name)
@@ -324,9 +383,16 @@ class ModelBroker:
         with self._lock:
             return sorted(self._lanes)
 
-    def shutdown(self) -> None:
-        """Stop accepting work and wake every worker; queued requests are
-        still drained (workers exit once their queue is empty)."""
+    def shutdown(self, join_s: float = 2.0) -> None:
+        """Stop accepting work, wake every worker, and drain.
+
+        Workers exit once their queue is empty, so queued requests normally
+        complete.  If a worker fails to finish within ``join_s`` (a wedged
+        backend), any request still *queued* is failed with
+        :class:`ServiceError` — no future is ever left forever pending.
+        A request already in flight is left to its worker, which either
+        completes it or fails it itself.
+        """
         self.stopped = True
         with self._lock:
             lanes = list(self._lanes.values())
@@ -334,7 +400,10 @@ class ModelBroker:
             with lane.cond:
                 lane.cond.notify_all()
         for lane in lanes:
-            lane.worker.join(timeout=2.0)
+            lane.worker.join(timeout=join_s)
+        for lane in lanes:
+            lane.fail_pending(ServiceError(
+                f"broker shut down with lane '{lane.name}' not drained"))
 
     def __enter__(self) -> "ModelBroker":
         return self
@@ -351,20 +420,40 @@ class ModelBroker:
                 lane = self._lanes[name] = _Lane(name, self)
             return lane
 
+    def _invoke(self, method, request: _Request):
+        """Run one backend call, holding a worker slot when the broker's
+        executor is bounded (``max_concurrent``).  Slots are held only for
+        the call itself, never across backoff sleeps."""
+        if self._slots is None:
+            return method(*request.args, **request.kwargs)
+        with self._slots:
+            return method(*request.args, **request.kwargs)
+
 
 # -- process-wide default broker ----------------------------------------------
 
-_default_broker: ModelBroker | None = None
+_default_broker = None
 _broker_lock = threading.Lock()
 
 
-def get_default_broker() -> ModelBroker:
-    """The process-wide broker, created lazily from settings on first use."""
+def get_default_broker():
+    """The process-wide broker, created lazily from settings on first use.
+
+    Returns a single :class:`ModelBroker` by default; with
+    ``REPRO_SERVICE_SHARDS`` > 1 it returns a
+    :class:`~repro.service.router.ShardedRouter` fronting that many broker
+    shards (same submit/call surface, byte-identical results).
+    """
     global _default_broker
     if _default_broker is None or _default_broker.stopped:
         with _broker_lock:
             if _default_broker is None or _default_broker.stopped:
-                _default_broker = ModelBroker()
+                shards = get_settings().service_shards
+                if shards > 1:
+                    from .router import ShardedRouter
+                    _default_broker = ShardedRouter(shards=shards)
+                else:
+                    _default_broker = ModelBroker()
     return _default_broker
 
 

@@ -1,0 +1,270 @@
+"""Consistent-hash sharded serving: N broker shards behind one router.
+
+A single :class:`~repro.service.broker.ModelBroker` models one serving
+process; :class:`ShardedRouter` is the deployment story on top of it — the
+piece ROADMAP item 2 ("scale the broker out of a single process") asks
+for.  The router owns N broker shards and routes every request by a
+**consistent hash of the model profile name**:
+
+* the hash ring is built from :func:`repro.llm.model._stable_seed`, so the
+  key→shard mapping is a pure function of ``(shard count, alive shards)``
+  — identical across processes, machines and ``PYTHONHASHSEED`` values;
+* a model's requests always land on exactly one shard, so per-lane
+  micro-batching, breaker state and retry accounting behave exactly as in
+  the single-broker deployment — which is why N-shard results are
+  byte-identical to 1-shard and to the direct path (see DESIGN.md §10);
+* **draining** a shard removes only that shard's points from the ring:
+  its keys rebalance to their ring successors while every other model
+  stays put (the classic consistent-hashing property), the draining shard
+  stops admitting, finishes its queue, and can later be **restarted**
+  fresh.
+
+On top of the shards the router layers **per-tenant admission control**:
+a tenant may hold at most ``tenant_share`` of the deployment's total
+queue capacity in flight; beyond that its submissions fail fast with
+:class:`TenantShedError` (a :class:`LoadShedError`) *before* touching any
+lane, so one abusive tenant cannot starve the others of queue slots.
+
+Instrumentation: per-shard in-flight gauges and request counters
+(``service.shard.N.*``) join the per-lane metrics the broker already
+emits; ``repro.obs.report`` renders them as the service section.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable
+
+from ..config import get_settings
+from ..obs import get_metrics
+from .broker import (BrokerConfig, LoadShedError, ModelBroker, ServiceError,
+                     _stable_seed)
+
+_RING_SPAN = 2 ** 64
+
+
+class TenantShedError(LoadShedError):
+    """The tenant exceeded its admission share; the request was shed."""
+
+
+class ShardedRouter:
+    """Fronts N :class:`ModelBroker` shards with a consistent-hash ring.
+
+    Exposes the same ``submit``/``call``/``shutdown``/``breaker``/
+    ``lane_names`` surface as a single broker, so
+    :class:`~repro.service.client.ServiceClient` (and
+    :func:`~repro.service.broker.get_default_broker`) can use either
+    interchangeably.
+    """
+
+    def __init__(self, shards: int | None = None,
+                 config: BrokerConfig | None = None, *,
+                 tenant_share: float | None = None,
+                 replicas: int = 32,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleeper: Callable[[float], None] = time.sleep):
+        settings = get_settings()
+        self.config = config or BrokerConfig.from_settings()
+        self.num_shards = max(1, shards if shards is not None
+                              else settings.service_shards)
+        self.tenant_share = (tenant_share if tenant_share is not None
+                             else settings.service_tenant_share)
+        self.replicas = max(1, replicas)
+        self._clock = clock
+        self._sleeper = sleeper
+        self.stopped = False
+        self._lock = threading.Lock()
+        self._shards: list[ModelBroker] = [
+            ModelBroker(self.config, clock=clock, sleeper=sleeper)
+            for _ in range(self.num_shards)]
+        self._draining = [False] * self.num_shards
+        self._inflight_by_tenant: dict[str, int] = {}
+        self._ring: list[tuple[int, int]] = []
+        self._rebuild_ring()
+
+    # -- ring ----------------------------------------------------------------
+
+    def _rebuild_ring(self) -> None:
+        """Recompute the ring from alive (non-draining) shards.  Points are
+        pure functions of (shard index, replica), so removing a shard
+        leaves every other shard's points — and therefore every unaffected
+        key's mapping — exactly where they were."""
+        points = []
+        for idx in range(self.num_shards):
+            if self._draining[idx]:
+                continue
+            for replica in range(self.replicas):
+                points.append(
+                    (_stable_seed("shard-ring", idx, replica) % _RING_SPAN,
+                     idx))
+        points.sort()
+        self._ring = points
+
+    def shard_for(self, name: str) -> int:
+        """The shard index serving model profile ``name`` right now."""
+        with self._lock:
+            return self._shard_for_locked(name)
+
+    def _shard_for_locked(self, name: str) -> int:
+        if not self._ring:
+            raise ServiceError("no alive shards (all draining or stopped)")
+        point = _stable_seed("shard-key", name) % _RING_SPAN
+        i = bisect.bisect_left(self._ring, (point, -1))
+        if i == len(self._ring):           # wrap past the last point
+            i = 0
+        return self._ring[i][1]
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, backend, kind: str, args: tuple = (),
+               kwargs: dict | None = None, key: int = 0,
+               timeout: float | None = None,
+               tenant: str | None = None) -> Future:
+        """Route one backend call to its shard; returns the lane future.
+
+        Tenant admission runs first (fail fast, no lane touched), then the
+        ring picks the shard.  A shard that shuts down between the ring
+        lookup and the lane enqueue (a drain racing this submit) is treated
+        as draining: the ring is rebuilt and the submit retried, so callers
+        never see a transient ``ServiceError`` for a survivable race.
+        """
+        if self.stopped:
+            raise ServiceError("router is shut down")
+        metrics = get_metrics()
+        admitted_tenant = self._admit(tenant)
+        try:
+            for _ in range(self.num_shards + 1):
+                with self._lock:
+                    idx = self._shard_for_locked(backend.profile.name)
+                    shard = self._shards[idx]
+                try:
+                    future = shard.submit(backend, kind, args, kwargs,
+                                          key=key, timeout=timeout)
+                except ServiceError as exc:
+                    if isinstance(exc, LoadShedError) or not shard.stopped:
+                        raise
+                    # Shard stopped under us (drain race): rebalance, retry.
+                    with self._lock:
+                        if not self.stopped and not self._draining[idx]:
+                            self._draining[idx] = True
+                            self._rebuild_ring()
+                    continue
+                metrics.counter(f"service.shard.{idx}.requests").add()
+                gauge = metrics.gauge(f"service.shard.{idx}.inflight")
+                gauge.add(1.0)
+                future.add_done_callback(lambda _f, g=gauge: g.add(-1.0))
+                if admitted_tenant is not None:
+                    future.add_done_callback(
+                        lambda _f, t=admitted_tenant: self._release(t))
+                    admitted_tenant = None
+                return future
+            raise ServiceError("no alive shards (all draining or stopped)")
+        finally:
+            if admitted_tenant is not None:     # submit failed: refund
+                self._release(admitted_tenant)
+
+    def call(self, backend, kind: str, args: tuple = (),
+             kwargs: dict | None = None, key: int = 0,
+             timeout: float | None = None, tenant: str | None = None):
+        """Submit and block for the result (mirrors ``ModelBroker.call``)."""
+        future = self.submit(backend, kind, args, kwargs, key=key,
+                             timeout=timeout, tenant=tenant)
+        if timeout is None:
+            timeout = self.config.request_timeout_s
+        wait = None if timeout is None else timeout * 2 + 1.0
+        return future.result(timeout=wait)
+
+    # -- tenant admission ----------------------------------------------------
+
+    def _tenant_capacity(self) -> int:
+        alive = self.num_shards - sum(self._draining)
+        total = self.config.queue_capacity * max(1, alive)
+        return max(1, int(self.tenant_share * total))
+
+    def _admit(self, tenant: str | None) -> str | None:
+        if tenant is None or self.tenant_share >= 1.0:
+            return None
+        with self._lock:
+            held = self._inflight_by_tenant.get(tenant, 0)
+            if held >= self._tenant_capacity():
+                get_metrics().counter("service.tenant_shed").add()
+                raise TenantShedError(
+                    f"tenant '{tenant}' holds {held} in-flight requests "
+                    f"(share cap {self._tenant_capacity()}); request shed")
+            self._inflight_by_tenant[tenant] = held + 1
+        return tenant
+
+    def _release(self, tenant: str) -> None:
+        with self._lock:
+            held = self._inflight_by_tenant.get(tenant, 0)
+            if held <= 1:
+                self._inflight_by_tenant.pop(tenant, None)
+            else:
+                self._inflight_by_tenant[tenant] = held - 1
+
+    # -- drain / restart -----------------------------------------------------
+
+    def drain(self, index: int, join_s: float = 10.0) -> None:
+        """Gracefully retire shard ``index``: stop admitting, rebalance its
+        keys to the remaining shards, finish its queue, shut it down."""
+        with self._lock:
+            if not 0 <= index < self.num_shards:
+                raise IndexError(f"no shard {index}")
+            if self._draining[index]:
+                return
+            self._draining[index] = True
+            self._rebuild_ring()
+            shard = self._shards[index]
+        # New submissions already rebalanced away; shutdown drains the
+        # queue (workers exit once empty) and fails anything left behind.
+        shard.shutdown(join_s=join_s)
+
+    def restart(self, index: int) -> None:
+        """Bring a drained shard back with a fresh broker; its ring points
+        reappear and its keys return."""
+        with self._lock:
+            if not 0 <= index < self.num_shards:
+                raise IndexError(f"no shard {index}")
+            if not self._draining[index]:
+                return
+            self._shards[index] = ModelBroker(self.config, clock=self._clock,
+                                              sleeper=self._sleeper)
+            self._draining[index] = False
+            self._rebuild_ring()
+
+    def draining(self) -> list[int]:
+        with self._lock:
+            return [i for i, d in enumerate(self._draining) if d]
+
+    # -- broker-surface parity -----------------------------------------------
+
+    def breaker(self, name: str):
+        return self._shards[self.shard_for(name)].breaker(name)
+
+    def lane_names(self) -> list[str]:
+        names: set[str] = set()
+        with self._lock:
+            shards = list(self._shards)
+        for shard in shards:
+            names.update(shard.lane_names())
+        return sorted(names)
+
+    def shards(self) -> "list[ModelBroker]":
+        with self._lock:
+            return list(self._shards)
+
+    def shutdown(self, join_s: float = 2.0) -> None:
+        self.stopped = True
+        with self._lock:
+            shards = list(self._shards)
+        for shard in shards:
+            shard.shutdown(join_s=join_s)
+
+    def __enter__(self) -> "ShardedRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -88,6 +88,56 @@ class TestServiceKnobs:
         assert cfg.queue_capacity == 32
         assert cfg.max_retries == 5
 
+    def test_breaker_and_timeout_knobs_are_wired(self, monkeypatch,
+                                                 settings):
+        # Regression: from_settings used to silently drop the breaker and
+        # timeout knobs, so operators could not tune them at all.
+        from repro.service import BrokerConfig
+        monkeypatch.setenv("REPRO_SERVICE_BREAKER_THRESHOLD", "9")
+        monkeypatch.setenv("REPRO_SERVICE_BREAKER_RESET_S", "1.5")
+        monkeypatch.setenv("REPRO_SERVICE_TIMEOUT_S", "7.5")
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "3")
+        cfg = BrokerConfig.from_settings()
+        assert cfg.breaker_threshold == 9
+        assert cfg.breaker_reset_s == 1.5
+        assert cfg.request_timeout_s == 7.5
+        assert cfg.max_concurrent == 3
+
+    def test_breaker_and_timeout_defaults(self, monkeypatch, settings):
+        for var in ("REPRO_SERVICE_BREAKER_THRESHOLD",
+                    "REPRO_SERVICE_BREAKER_RESET_S",
+                    "REPRO_SERVICE_TIMEOUT_S", "REPRO_SERVICE_SHARDS",
+                    "REPRO_SERVICE_WORKERS", "REPRO_SERVICE_TENANT_SHARE"):
+            monkeypatch.delenv(var, raising=False)
+        assert settings.service_breaker_threshold == 5
+        assert settings.service_breaker_reset_s == 0.25
+        assert settings.service_timeout_s == 60.0
+        assert settings.service_shards == 1
+        assert settings.service_workers is None
+        assert settings.service_tenant_share == 1.0
+
+    def test_timeout_zero_disables_deadlines(self, monkeypatch, settings):
+        monkeypatch.setenv("REPRO_SERVICE_TIMEOUT_S", "0")
+        assert settings.service_timeout_s is None
+        monkeypatch.setenv("REPRO_SERVICE_TIMEOUT_S", "-3")
+        assert settings.service_timeout_s is None
+
+    def test_env_float_bad_value_warns_once(self, monkeypatch, settings):
+        monkeypatch.setenv("REPRO_SERVICE_BREAKER_RESET_S", "soon")
+        with pytest.warns(RuntimeWarning, match="not a number"):
+            assert settings.service_breaker_reset_s == 0.25
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert settings.service_breaker_reset_s == 0.25
+
+    def test_shards_and_tenant_share_floors(self, monkeypatch, settings):
+        monkeypatch.setenv("REPRO_SERVICE_SHARDS", "0")
+        monkeypatch.setenv("REPRO_SERVICE_TENANT_SHARE", "7.0")
+        assert settings.service_shards == 1
+        assert settings.service_tenant_share == 1.0
+        monkeypatch.setenv("REPRO_SERVICE_TENANT_SHARE", "0.001")
+        assert settings.service_tenant_share == 0.01
+
 
 class TestSnapshot:
     def test_snapshot_covers_every_knob(self, settings):
@@ -96,5 +146,8 @@ class TestSnapshot:
                     "result_cache_capacity", "trace", "trace_file",
                     "service", "service_batch_size",
                     "service_queue_capacity", "service_max_retries",
+                    "service_breaker_threshold", "service_breaker_reset_s",
+                    "service_timeout_s", "service_shards",
+                    "service_workers", "service_tenant_share",
                     "full_eval"):
             assert key in snap

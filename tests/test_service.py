@@ -185,6 +185,128 @@ class TestBrokerMechanics:
         assert "service.queue_depth.stub-model" in snap["gauges"]
 
 
+class TestBrokerRaceRegressions:
+    """Regression coverage for the four latent concurrency bugs fixed in
+    the sharding PR (shed-consumes-probe, shutdown-vs-submit, deadline
+    ignored across retries, dropped config knobs)."""
+
+    def test_shed_does_not_consume_half_open_probe(self):
+        # A shed submission must not spend (and re-arm) the half-open
+        # probe: previously breaker.allow() ran before the capacity check,
+        # so under sustained overload a lane's breaker stayed open forever.
+        clock = FakeClock()
+        backend = StubBackend()
+        cfg = BrokerConfig(queue_capacity=1, max_batch=1,
+                           breaker_threshold=1, breaker_reset_s=0.25,
+                           request_timeout_s=None)
+        broker = ModelBroker(cfg, clock=clock)
+        try:
+            blocker = broker.submit(backend, "blocking_work", (1,))
+            assert backend.started.wait(timeout=5.0)
+            filler = broker.submit(backend, "work", (2,))
+            breaker = broker.breaker("stub-model")
+            breaker.record_failure()                 # trip it (threshold 1)
+            assert breaker.state == CircuitBreaker.OPEN
+            clock.advance(0.25)
+            assert breaker.state == CircuitBreaker.HALF_OPEN
+            # Queue is full: the submission sheds and the probe survives.
+            with pytest.raises(LoadShedError):
+                broker.submit(backend, "work", (3,))
+            assert breaker.state == CircuitBreaker.HALF_OPEN
+            # With capacity back, a submission may spend the probe.  (The
+            # drained filler's success closes the breaker, so re-trip it
+            # to walk the probe path with room in the queue this time.)
+            backend.release.set()
+            assert blocker.result(timeout=5.0) == 1
+            assert filler.result(timeout=5.0) == 4
+            breaker.record_failure()
+            clock.advance(0.25)
+            assert breaker.state == CircuitBreaker.HALF_OPEN
+            probe = broker.submit(backend, "work", (4,))
+            assert probe.result(timeout=5.0) == 8
+            assert breaker.state == CircuitBreaker.CLOSED
+        finally:
+            backend.release.set()
+            broker.shutdown()
+
+    def test_submit_racing_shutdown_never_strands_a_future(self):
+        # Hammer submit from one thread while shutting down from another:
+        # every submission must either resolve or raise ServiceError at
+        # submit time — no future may be left forever pending.
+        from repro.service import ServiceError
+        for round_no in range(5):
+            backend = StubBackend()
+            broker = ModelBroker(BrokerConfig(request_timeout_s=None))
+            futures = []
+            barrier = threading.Barrier(2)
+
+            def submitter():
+                barrier.wait()
+                for i in range(200):
+                    try:
+                        futures.append(broker.submit(backend, "work", (i,)))
+                    except ServiceError:
+                        return
+
+            thread = threading.Thread(target=submitter)
+            thread.start()
+            barrier.wait()
+            broker.shutdown()
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            for future in futures:
+                # Admitted before the stop flag → drained by the worker.
+                assert future.result(timeout=5.0) is not None
+
+    def test_shutdown_fails_leftover_queued_futures(self):
+        # A wedged worker can't drain its queue; shutdown must fail the
+        # still-queued requests instead of leaving them pending forever.
+        from repro.service import ServiceError
+        backend = StubBackend()
+        cfg = BrokerConfig(max_batch=1, queue_capacity=16,
+                           request_timeout_s=None)
+        broker = ModelBroker(cfg)
+        wedged = broker.submit(backend, "blocking_work", (1,))
+        assert backend.started.wait(timeout=5.0)
+        queued = [broker.submit(backend, "work", (i,)) for i in range(4)]
+        broker.shutdown(join_s=0.05)        # worker is stuck: join times out
+        for future in queued:
+            with pytest.raises(ServiceError, match="not drained"):
+                future.result(timeout=5.0)
+        snap = get_metrics().snapshot()["counters"]
+        assert snap.get("service.failed_on_shutdown", 0) >= 4
+        # The in-flight request still belongs to its worker.
+        backend.release.set()
+        assert wedged.result(timeout=5.0) == 1
+
+    def test_deadline_rechecked_before_each_retry(self):
+        # A transiently-failing request must stop retrying once its
+        # deadline passes instead of burning the whole backoff schedule.
+        clock = FakeClock()
+
+        class AlwaysTransient:
+            profile = StubProfile()
+            calls = 0
+
+            def work(self, value):
+                AlwaysTransient.calls += 1
+                raise TransientBackendError("flaky forever")
+
+        cfg = BrokerConfig(max_retries=100, backoff_base_s=1.0,
+                           backoff_cap_s=1.0, request_timeout_s=None)
+        broker = ModelBroker(cfg, clock=clock, sleeper=clock.advance)
+        try:
+            future = broker.submit(AlwaysTransient(), "work", (1,),
+                                   timeout=2.0)
+            with pytest.raises(RequestTimeout, match="attempt"):
+                future.result(timeout=5.0)
+        finally:
+            broker.shutdown()
+        # Backoff sleeps advance the fake clock ~0.5-1.5 s each, so the
+        # 2 s deadline cuts the 100-retry schedule to a handful of calls.
+        assert AlwaysTransient.calls <= 5
+
+
 class TestClientSeam:
     def test_resolve_string_returns_simulated_llm(self):
         client = resolve_client("gpt-4", seed=7, service=False)

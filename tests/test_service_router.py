@@ -1,0 +1,249 @@
+"""Sharded router tests: ring determinism, fairness, drain, byte-identity."""
+
+import threading
+
+import pytest
+
+from repro.bench.harness import make_task
+from repro.bench.problems import get_problem
+from repro.llm.model import SimulatedLLM
+from repro.obs import get_metrics
+from repro.service import (BrokerConfig, LoadShedError, ServiceClient,
+                           ServiceError, ShardedRouter, TenantShedError,
+                           get_default_broker, reset_default_broker,
+                           resolve_client)
+
+MODELS = ("gpt-4", "chatgpt-3.5", "gpt-4o", "cl-verilog-34b", "rtlcoder-7b",
+          "codev-7b", "verigen-codegen-16b", "codellama-34b-instruct",
+          "codellama-34b-instruct-ft", "dave-gpt2")
+
+
+def _cfg(**overrides):
+    base = dict(request_timeout_s=None)
+    base.update(overrides)
+    return BrokerConfig(**base)
+
+
+class StubProfile:
+    def __init__(self, name):
+        self.name = name
+
+
+class BlockingBackend:
+    """Backend whose calls block until released (in-flight control)."""
+
+    def __init__(self, name="stub-model"):
+        self.profile = StubProfile(name)
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def work(self, value):
+        self.started.set()
+        assert self.release.wait(timeout=10.0)
+        return value
+
+
+class TestRing:
+    def test_mapping_is_deterministic_across_instances(self):
+        with ShardedRouter(shards=4, config=_cfg()) as a, \
+                ShardedRouter(shards=4, config=_cfg()) as b:
+            assert [a.shard_for(m) for m in MODELS] \
+                == [b.shard_for(m) for m in MODELS]
+
+    def test_every_shard_serves_some_key(self):
+        with ShardedRouter(shards=4, config=_cfg()) as router:
+            names = [f"model-{i}" for i in range(200)]
+            used = {router.shard_for(n) for n in names}
+            assert used == {0, 1, 2, 3}
+
+    def test_drain_moves_only_the_drained_shards_keys(self):
+        with ShardedRouter(shards=4, config=_cfg()) as router:
+            names = [f"model-{i}" for i in range(100)]
+            before = {n: router.shard_for(n) for n in names}
+            router.drain(2)
+            after = {n: router.shard_for(n) for n in names}
+            for name in names:
+                if before[name] == 2:
+                    assert after[name] != 2       # rebalanced away
+                else:
+                    assert after[name] == before[name]   # untouched
+
+    def test_restart_restores_the_original_mapping(self):
+        with ShardedRouter(shards=3, config=_cfg()) as router:
+            before = {m: router.shard_for(m) for m in MODELS}
+            router.drain(1)
+            router.restart(1)
+            assert {m: router.shard_for(m) for m in MODELS} == before
+
+    def test_all_shards_draining_is_an_error(self):
+        router = ShardedRouter(shards=2, config=_cfg())
+        try:
+            router.drain(0)
+            router.drain(1)
+            with pytest.raises(ServiceError, match="no alive shards"):
+                router.shard_for("gpt-4")
+        finally:
+            router.shutdown()
+
+
+class TestRouterMechanics:
+    def test_call_routes_to_the_hashed_shard(self):
+        backend = BlockingBackend("gpt-4")
+        backend.release.set()
+        with ShardedRouter(shards=4, config=_cfg()) as router:
+            assert router.call(backend, "work", (21,)) == 21
+            idx = router.shard_for("gpt-4")
+            shard = router.shards()[idx]
+            assert shard.lane_names() == ["gpt-4"]
+            assert router.lane_names() == ["gpt-4"]
+            others = [s for i, s in enumerate(router.shards()) if i != idx]
+            assert all(s.lane_names() == [] for s in others)
+            snap = get_metrics().snapshot()
+            assert snap["counters"][f"service.shard.{idx}.requests"] >= 1
+            assert f"service.shard.{idx}.inflight" in snap["gauges"]
+
+    def test_drain_finishes_queued_work_then_rebalances(self):
+        backend = BlockingBackend("gpt-4")
+        with ShardedRouter(shards=3, config=_cfg(max_batch=1)) as router:
+            idx = router.shard_for("gpt-4")
+            queued = router.submit(backend, "work", (7,))
+            assert backend.started.wait(timeout=5.0)
+
+            done = threading.Event()
+
+            def drainer():
+                router.drain(idx)
+                done.set()
+
+            thread = threading.Thread(target=drainer)
+            thread.start()
+            backend.release.set()
+            assert done.wait(timeout=10.0)
+            thread.join(timeout=5.0)
+            # The queued request finished (not stranded, not failed)...
+            assert queued.result(timeout=5.0) == 7
+            # ...and the model's keys now live on a different shard.
+            new_idx = router.shard_for("gpt-4")
+            assert new_idx != idx
+            assert router.call(backend, "work", (8,)) == 8
+
+    def test_submit_after_shutdown_raises(self):
+        backend = BlockingBackend("gpt-4")
+        router = ShardedRouter(shards=2, config=_cfg())
+        router.shutdown()
+        with pytest.raises(ServiceError):
+            router.submit(backend, "work", (1,))
+
+
+class TestTenantFairness:
+    def test_hog_tenant_is_shed_while_others_are_admitted(self):
+        backend = BlockingBackend("gpt-4")
+        cfg = _cfg(queue_capacity=8, max_batch=1)
+        with ShardedRouter(shards=1, config=cfg,
+                           tenant_share=0.25) as router:
+            cap = max(1, int(0.25 * 8))       # 2 in-flight per tenant
+            admitted = [router.submit(backend, "work", (i,), tenant="hog")
+                        for i in range(cap)]
+            with pytest.raises(TenantShedError):
+                router.submit(backend, "work", (99,), tenant="hog")
+            # Another tenant still gets through; anonymous traffic too.
+            other = router.submit(backend, "work", (50,), tenant="polite")
+            anon = router.submit(backend, "work", (60,))
+            backend.release.set()
+            for future in admitted + [other, anon]:
+                assert future.result(timeout=10.0) is not None
+            snap = get_metrics().snapshot()["counters"]
+            assert snap.get("service.tenant_shed", 0) >= 1
+            # Completion released the share: the hog may submit again.
+            again = router.submit(backend, "work", (100,), tenant="hog")
+            assert again.result(timeout=10.0) == 100
+
+    def test_share_of_one_disables_admission_control(self):
+        backend = BlockingBackend("gpt-4")
+        backend.release.set()
+        with ShardedRouter(shards=1, config=_cfg(),
+                           tenant_share=1.0) as router:
+            futures = [router.submit(backend, "work", (i,), tenant="hog")
+                       for i in range(20)]
+            assert all(f.result(timeout=10.0) is not None for f in futures)
+
+    def test_failed_submit_refunds_the_tenant_slot(self):
+        backend = BlockingBackend("gpt-4")
+        cfg = _cfg(queue_capacity=1, max_batch=1)
+        with ShardedRouter(shards=1, config=cfg,
+                           tenant_share=0.9) as router:
+            # Anonymous traffic (exempt from admission) saturates the lane:
+            # one executing, one queued (queue_capacity=1).
+            first = router.submit(backend, "work", (1,))
+            assert backend.started.wait(timeout=5.0)
+            second = router.submit(backend, "work", (2,))
+            # The tenant passes admission but is shed by the full lane
+            # queue; the failed submit must refund its in-flight slot.
+            with pytest.raises(LoadShedError):
+                router.submit(backend, "work", (3,), tenant="t")
+            assert router._inflight_by_tenant.get("t") is None
+            backend.release.set()
+            assert first.result(timeout=10.0) == 1
+            assert second.result(timeout=10.0) == 2
+        assert router._inflight_by_tenant == {}
+
+
+class TestServiceReport:
+    def test_service_table_renders_router_metrics(self):
+        from repro import obs
+        from repro.obs import report
+        backend = BlockingBackend("gpt-4")
+        backend.release.set()
+        with ShardedRouter(shards=2, config=_cfg()) as router:
+            assert router.call(backend, "work", (5,)) == 5
+        snap = obs.get_metrics().snapshot()
+        records = [dict(snap, type="metrics")]
+        table = report.service_table(records)
+        assert "service.requests" in table
+        assert ".requests" in table           # per-shard counter row
+        assert table in report.render(records)
+        assert report.service_table([]) == ""
+
+
+class TestShardedDeterminism:
+    """N shards must be byte-identical to 1 shard and to the direct path."""
+
+    def test_nshard_sweep_matches_direct(self):
+        task = make_task(get_problem("c2_absdiff"))
+        direct = {m: SimulatedLLM(m, seed=11) for m in MODELS[:4]}
+        want = {m: [direct[m].generate(task, sample_index=i)
+                    for i in range(3)] for m in direct}
+        for shards in (1, 2, 4):
+            with ShardedRouter(shards=shards, config=_cfg()) as router:
+                backends = {m: SimulatedLLM(m, seed=11) for m in direct}
+                clients = {m: ServiceClient(backends[m], broker=router)
+                           for m in direct}
+                got = {m: [clients[m].generate(task, sample_index=i)
+                           for i in range(3)] for m in direct}
+            assert got == want, f"divergence at {shards} shards"
+            for m in direct:
+                assert backends[m].usage == direct[m].usage
+
+    def test_env_shards_resolve_to_router(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE", "1")
+        monkeypatch.setenv("REPRO_SERVICE_SHARDS", "3")
+        reset_default_broker()
+        try:
+            client = resolve_client("gpt-4", seed=0)
+            assert isinstance(client, ServiceClient)
+            assert isinstance(client.broker, ShardedRouter)
+            assert client.broker.num_shards == 3
+            task = make_task(get_problem("c2_gray"))
+            direct = SimulatedLLM("gpt-4", seed=0)
+            assert client.generate(task) == direct.generate(task)
+        finally:
+            reset_default_broker()
+
+    def test_default_broker_stays_single_without_shards(self, monkeypatch):
+        from repro.service import ModelBroker
+        monkeypatch.delenv("REPRO_SERVICE_SHARDS", raising=False)
+        reset_default_broker()
+        try:
+            assert isinstance(get_default_broker(), ModelBroker)
+        finally:
+            reset_default_broker()
