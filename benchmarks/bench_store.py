@@ -1,0 +1,160 @@
+"""Artifact-store benchmark: cross-process warm starts.
+
+Every earlier perf PR measured caches that die with the process; this one
+measures the persistent tier.  Two regimes, both across real ``fork``/exec
+process boundaries (subprocesses share nothing but ``REPRO_STORE_DIR``):
+
+* **warm_start** — a process compiles and simulates a grid of
+  (problem, seed) testbench cells against an empty store, then a second
+  process repeats the identical workload and serves every result from
+  disk.  The acceptance floor is a **5x** speedup.
+* **fast_lane** — a registered flow (vrank) runs twice against a shared
+  store directory; the second run must be faster and must report nonzero
+  disk hits.  This is the same shape the CI warm-start job asserts.
+
+Writes ``BENCH_store.json`` at the repo root.  Run standalone
+(``python benchmarks/bench_store.py``) or via pytest
+(``pytest benchmarks/bench_store.py -s``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _util import full_eval, print_table  # noqa: E402
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC_DIR = os.path.join(_REPO_ROOT, "src")
+_OUT_PATH = os.path.join(_REPO_ROOT, "BENCH_store.json")
+
+# Runs inside a subprocess: time a grid of distinct run_testbench cells and
+# report the store's view of the run.  Timing starts after imports, so the
+# measurement is the workload, not interpreter startup.
+_WARM_START_CHILD = """
+import json, sys, time
+from repro.bench.problems import all_problems
+from repro.hdl import run_testbench
+from repro.store import get_default_store
+n_problems, n_seeds = int(sys.argv[1]), int(sys.argv[2])
+problems = all_problems()[:n_problems]
+t0 = time.perf_counter()
+for problem in problems:
+    for seed in range(n_seeds):
+        run_testbench(problem.reference, problem.tb_name,
+                      tb_source=problem.testbench, seed=seed)
+elapsed = time.perf_counter() - t0
+stats = get_default_store().stats()
+print(json.dumps({
+    "elapsed_s": elapsed,
+    "cells": len(problems) * n_seeds,
+    "hits": sum(s.hits for s in stats.values()),
+    "misses": sum(s.misses for s in stats.values()),
+    "corrupt": sum(s.corrupt for s in stats.values()),
+}))
+"""
+
+_FAST_LANE_CHILD = """
+import json, time
+from repro.bench.problems import all_problems
+from repro.flows import run_flow
+from repro.store import get_default_store
+problems = all_problems()[:4]
+t0 = time.perf_counter()
+run_flow("vrank", problems, "chatgpt-3.5", seed=0)
+elapsed = time.perf_counter() - t0
+stats = get_default_store().stats()
+print(json.dumps({
+    "elapsed_s": elapsed,
+    "hits": sum(s.hits for s in stats.values()),
+}))
+"""
+
+
+def _run_child(script: str, store_dir: str, *args: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_STORE"] = "1"
+    env["REPRO_STORE_DIR"] = store_dir
+    proc = subprocess.run([sys.executable, "-c", script, *args],
+                          env=env, capture_output=True, text=True,
+                          check=True)
+    return json.loads(proc.stdout)
+
+
+def bench_warm_start() -> dict:
+    """Cold vs warm ``run_testbench`` across process boundaries."""
+    n_problems = 10
+    n_seeds = 5 if full_eval() else 3
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store_dir:
+        args = (str(n_problems), str(n_seeds))
+        cold = _run_child(_WARM_START_CHILD, store_dir, *args)
+        warm = _run_child(_WARM_START_CHILD, store_dir, *args)
+    speedup = cold["elapsed_s"] / warm["elapsed_s"] \
+        if warm["elapsed_s"] else float("inf")
+    return {"cells": cold["cells"],
+            "cold_s": round(cold["elapsed_s"], 4),
+            "warm_s": round(warm["elapsed_s"], 4),
+            "cold_hits": cold["hits"],
+            "warm_hits": warm["hits"],
+            "corrupt": cold["corrupt"] + warm["corrupt"],
+            "speedup": round(speedup, 2)}
+
+
+def bench_fast_lane() -> dict:
+    """One registered flow, run twice against a shared store directory."""
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store_dir:
+        run1 = _run_child(_FAST_LANE_CHILD, store_dir)
+        run2 = _run_child(_FAST_LANE_CHILD, store_dir)
+    speedup = run1["elapsed_s"] / run2["elapsed_s"] \
+        if run2["elapsed_s"] else float("inf")
+    return {"flow": "vrank",
+            "run1_s": round(run1["elapsed_s"], 4),
+            "run2_s": round(run2["elapsed_s"], 4),
+            "run2_hits": run2["hits"],
+            "speedup": round(speedup, 2)}
+
+
+def main() -> dict:
+    data = {"cpus": os.cpu_count(),
+            "warm_start": bench_warm_start(),
+            "fast_lane": bench_fast_lane()}
+    with open(_OUT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    ws, fl = data["warm_start"], data["fast_lane"]
+    print_table(
+        "E-store: cross-process warm start (run_testbench grid)",
+        ["cells", "cold s", "warm s", "warm hits", "speedup"],
+        [[ws["cells"], ws["cold_s"], ws["warm_s"], ws["warm_hits"],
+          ws["speedup"]]])
+    print_table(
+        "E-store: flow fast lane, two runs sharing one store",
+        ["flow", "run1 s", "run2 s", "run2 hits", "speedup"],
+        [[fl["flow"], fl["run1_s"], fl["run2_s"], fl["run2_hits"],
+          fl["speedup"]]])
+    return data
+
+
+def test_store_warm_start(benchmark=None):
+    data = main()
+    ws = data["warm_start"]
+    # The cold run never hits (the store starts empty) and the warm run
+    # serves every cell from disk without a single corrupt blob.
+    assert ws["cold_hits"] == 0
+    assert ws["warm_hits"] >= ws["cells"]
+    assert ws["corrupt"] == 0
+    # Acceptance floor: warm start is at least 5x faster across processes.
+    assert ws["speedup"] >= 5.0, ws
+    # The flow lane warm run reuses artifacts and gets faster.
+    fl = data["fast_lane"]
+    assert fl["run2_hits"] > 0
+    assert fl["run2_s"] < fl["run1_s"], fl
+
+
+if __name__ == "__main__":
+    main()

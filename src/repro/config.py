@@ -40,6 +40,10 @@ ENV_SERVICE_TENANT_SHARE = "REPRO_SERVICE_TENANT_SHARE"
 ENV_FULL_EVAL = "REPRO_FULL_EVAL"
 ENV_GEN_CONCURRENCY = "REPRO_GEN_CONCURRENCY"
 ENV_SIM_ENGINE = "REPRO_SIM_ENGINE"
+ENV_STORE = "REPRO_STORE"
+ENV_STORE_DIR = "REPRO_STORE_DIR"
+
+DEFAULT_STORE_DIR = ".repro-store"
 
 _SIM_ENGINES = ("auto", "event", "compiled")
 
@@ -147,6 +151,33 @@ class Settings:
     @property
     def result_cache_capacity(self) -> int:
         return self.env_int(ENV_RESULT_CACHE, 1024)
+
+    def cache_region_capacity(self, region: str) -> int:
+        """Memory capacity of one named cache region.
+
+        The legacy knobs configure their regions of the unified
+        :class:`repro.store.CacheBackend` surface — ``REPRO_COMPILE_CACHE``
+        sizes ``parse``/``design``/``program``, ``REPRO_RESULT_CACHE``
+        sizes ``result`` — so existing tuning keeps working unchanged.
+        Unnamed regions (campaign journals, future artifact kinds) get the
+        compile-cache default.
+        """
+        if region == "result":
+            return self.result_cache_capacity
+        return self.compile_cache_capacity
+
+    # -- artifact store ------------------------------------------------------
+
+    @property
+    def store_enabled(self) -> bool:
+        """``REPRO_STORE=1`` persists cache artifacts and campaign
+        checkpoints to disk (``REPRO_STORE_DIR``), shared across
+        processes; off (the default) keeps every cache memory-only."""
+        return self.env_bool(ENV_STORE, False)
+
+    @property
+    def store_dir(self) -> str:
+        return self.env_str(ENV_STORE_DIR) or DEFAULT_STORE_DIR
 
     # -- observability -------------------------------------------------------
 
@@ -278,6 +309,8 @@ class Settings:
             "service_tenant_share": self.service_tenant_share,
             "gen_concurrency": self.gen_concurrency,
             "sim_engine": self.sim_engine,
+            "store": self.store_enabled,
+            "store_dir": self.store_dir,
             "full_eval": self.full_eval,
         }
 

@@ -80,12 +80,20 @@ class ParallelEvaluator:
     # -- public -------------------------------------------------------------
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any],
-            timeout_result: Callable[[Any], Any] | None = None) -> list[Any]:
+            timeout_result: Callable[[Any], Any] | None = None,
+            on_result: Callable[[int, Any, Any], None] | None = None) \
+            -> list[Any]:
         """Apply ``fn`` to every item; results in submission order.
 
         On a per-task timeout, the slot receives ``timeout_result(item)``
         when provided, otherwise :class:`EvaluationTimeout` is raised.
         Worker exceptions propagate unchanged.
+
+        ``on_result(index, item, result)`` is invoked in the caller's
+        thread, in submission order, as each genuine result lands — the
+        checkpoint hook sweep journaling rides on.  Timeout placeholders
+        are *not* reported: a timeout is an execution accident, not a
+        reproducible cell outcome, so it must never be journaled.
         """
         work = list(items)
         tracer = get_tracer()
@@ -93,11 +101,18 @@ class ParallelEvaluator:
                          tasks=len(work)) as sp:
             if self.mode == "serial" or len(work) <= 1:
                 sp.set(worker_mode="serial")
-                return [fn(item) for item in work]
+                out = []
+                for index, item in enumerate(work):
+                    result = fn(item)
+                    if on_result is not None:
+                        on_result(index, item, result)
+                    out.append(result)
+                return out
             if self.mode in ("auto", "process"):
                 try:
                     return self._pooled(self._process_executor(), fn, work,
-                                        timeout_result, sp, "process")
+                                        timeout_result, sp, "process",
+                                        on_result)
                 except (OSError, ValueError, TypeError, AttributeError,
                         ImportError) as exc:
                     if self.mode == "process":
@@ -106,9 +121,10 @@ class ParallelEvaluator:
                     # threads.
                     sp.set(fallback=str(exc)[:120])
                     return self._pooled(self._thread_executor(), fn, work,
-                                        timeout_result, sp, "thread")
+                                        timeout_result, sp, "thread",
+                                        on_result)
             return self._pooled(self._thread_executor(), fn, work,
-                                timeout_result, sp, "thread")
+                                timeout_result, sp, "thread", on_result)
 
     # -- internals ----------------------------------------------------------
 
@@ -122,7 +138,8 @@ class ParallelEvaluator:
         return ThreadPoolExecutor(max_workers=self.jobs)
 
     def _pooled(self, executor, fn, work: Sequence[Any],
-                timeout_result, span=None, worker_mode: str = "") -> list[Any]:
+                timeout_result, span=None, worker_mode: str = "",
+                on_result=None) -> list[Any]:
         tracer = get_tracer()
         observing = tracer.enabled
         latency = get_metrics().histogram("exec.task_latency_s") \
@@ -133,9 +150,12 @@ class ParallelEvaluator:
             futures: list[Future] = [executor.submit(fn, item)
                                      for item in work]
             out: list[Any] = []
-            for item, future in zip(work, futures):
+            for index, (item, future) in enumerate(zip(work, futures)):
                 try:
-                    out.append(future.result(timeout=self.timeout))
+                    result = future.result(timeout=self.timeout)
+                    if on_result is not None:
+                        on_result(index, item, result)
+                    out.append(result)
                 except FutureTimeout:
                     timeouts += 1
                     future.cancel()

@@ -36,7 +36,7 @@ from .hierarchical import (HierarchicalResult, HierarchicalSweep,
 from .structured import (StructuredFeedbackFlow, StructuredFlowResult,
                          StructuredSweep, run_structured_sweep)
 from .vrank import Cluster, VRankResult, VRankSweep, vrank, vrank_sweep
-from .registry import FlowSpec, get_flow, list_flows, run_flow
+from .registry import FlowSpec, RunRequest, get_flow, list_flows, run_flow
 
 __all__ = [
     "Assertion", "AssertionReport", "AssertionSweep", "AutoBenchSweep",
@@ -51,7 +51,8 @@ __all__ = [
     "ChipChatSession", "Cluster", "GeneratedTestbench",
     "HierarchicalResult", "HierarchicalSweep", "StructuredFeedbackFlow",
     "StructuredFlowResult", "StructuredSweep", "TapeoutReport",
-    "TbQualityReport", "TbVerdict", "VRankResult", "VRankSweep",
+    "RunRequest", "TbQualityReport", "TbVerdict", "VRankResult",
+    "VRankSweep",
     "assertion_quality", "assertion_sweep", "autobench_sweep",
     "check_design", "compare_budgets",
     "generate_assertions", "generate_testbench", "get_flow",

@@ -5,19 +5,22 @@ Examples::
     python -m repro.flows --list
     python -m repro.flows vrank --model chatgpt-3.5 --seed 1
     python -m repro.flows autochip --problems c2_gray,c2_absdiff --jobs 4
+    python -m repro.flows vrank --store .repro-store --resume
 """
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 from dataclasses import asdict, is_dataclass
 from typing import Any
 
 from ..bench.problems import all_problems, get_problem
+from ..cli import (CliError, activate_store, add_seed_argument,
+                   add_store_arguments, build_parser, fail)
 from ..engine import Budget
-from .registry import get_flow, list_flows
+from ..store import CampaignJournal
+from .registry import RunRequest, get_flow, list_flows
 
 
 def _summarize(result: Any) -> Any:
@@ -32,7 +35,7 @@ def _summarize(result: Any) -> Any:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
+    parser = build_parser(
         prog="python -m repro.flows",
         description="List or launch the registered paper flows.")
     parser.add_argument("flow", nargs="?",
@@ -41,8 +44,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="list registered flows and exit")
     parser.add_argument("--model", default="gpt-4",
                         help="model profile name (default: gpt-4)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="sweep seed (default: 0)")
+    add_seed_argument(parser)
     parser.add_argument("--jobs", default=None,
                         help="worker count or 'auto' (default: REPRO_JOBS)")
     parser.add_argument("--problems", default=None,
@@ -54,6 +56,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-run tool-evaluation ceiling")
     parser.add_argument("--deadline-s", type=float, default=None,
                         help="per-run wall-clock deadline in seconds")
+    add_store_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.list_flows or args.flow is None:
@@ -65,16 +68,14 @@ def main(argv: list[str] | None = None) -> int:
     try:
         spec = get_flow(args.flow)
     except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
-        return 2
+        return fail(exc.args[0])
 
     if args.problems:
         try:
             problems = [get_problem(pid.strip())
                         for pid in args.problems.split(",") if pid.strip()]
         except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
+            return fail(exc.args[0])
     else:
         problems = all_problems()
 
@@ -86,15 +87,26 @@ def main(argv: list[str] | None = None) -> int:
                             max_evals=args.budget_evals,
                             deadline_s=args.deadline_s)
         except ValueError as exc:
-            print(f"invalid budget: {exc}", file=sys.stderr)
-            return 2
+            return fail(f"invalid budget: {exc}")
 
     try:
-        result = spec.run(problems, args.model, seed=args.seed,
-                          jobs=args.jobs, budget=budget)
+        store = activate_store(args)
+    except CliError as exc:
+        return fail(str(exc))
+
+    request = RunRequest(problems=problems, model=args.model,
+                         seed=args.seed, jobs=args.jobs, budget=budget)
+    if store is not None:
+        journal = CampaignJournal(
+            store, ("flow", spec.name) + request.fingerprint_parts(),
+            resume=args.resume)
+        request = RunRequest(problems=problems, model=args.model,
+                             seed=args.seed, jobs=args.jobs, budget=budget,
+                             store=journal)
+    try:
+        result = spec.launch(request)
     except ValueError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
+        return fail(str(exc))
     print(json.dumps(_summarize(result), indent=2, default=str))
     return 0
 

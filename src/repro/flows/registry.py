@@ -7,15 +7,26 @@ knowing its module.  Entry points follow the unified signature contract:
 ``model`` accepts a profile name, a :class:`~repro.llm.model.SimulatedLLM`,
 or any :class:`~repro.service.LLMClient`; ``seed``/``seeds`` and ``jobs``
 are keyword-only.
+
+Launches are typed: a :class:`RunRequest` carries everything a runner
+needs (problems, model, seed, jobs, budget, store journal) as keyword-only
+fields, so adding a launch parameter no longer ripples through nine
+positional lambdas — runners read the fields they understand and ignore
+the rest.  ``FlowSpec.run`` keeps the ergonomic keyword signature and
+builds the request; ``FlowSpec.launch`` takes a prebuilt request.  When
+the request carries a ``store`` journal, the whole launch runs inside
+:func:`repro.store.campaign_scope`, so every sweep the flow schedules
+checkpoints its cells to the artifact store (and replays them on resume).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..bench.problems import Problem
 from ..engine import Budget
+from ..store import CampaignJournal, campaign_scope
 from .assertgen import AssertionSweep, assertion_sweep
 from .autobench import AutoBenchSweep, autobench_sweep
 from .autochip import AutoChipResult, run_autochip
@@ -25,6 +36,32 @@ from .hierarchical import HierarchicalSweep, hierarchical_sweep
 from .security import detection_sweep
 from .structured import StructuredSweep, run_structured_sweep
 from .vrank import VRankSweep, vrank_sweep
+
+
+@dataclass(frozen=True, kw_only=True)
+class RunRequest:
+    """One typed flow launch.
+
+    Keyword-only by design: call sites name every field, so reordering or
+    extending the request never silently shifts an argument.  ``model``
+    follows the unified contract (profile name, ``SimulatedLLM``, or
+    ``LLMClient``); ``budget`` only applies to flows whose spec declares
+    ``accepts_budget``; ``store`` is an optional campaign journal that
+    turns the launch into a checkpointed (and resumable) campaign.
+    """
+
+    problems: list[Problem]
+    model: Any = "gpt-4"
+    seed: int = 0
+    jobs: int | str | None = None
+    budget: Budget | None = None
+    store: CampaignJournal | None = None
+
+    def fingerprint_parts(self) -> tuple:
+        """The launch coordinates that determine results (jobs excluded:
+        worker count never changes a deterministic sweep's output)."""
+        return (tuple(p.problem_id for p in self.problems),
+                str(self.model), self.seed, self.budget)
 
 
 @dataclass(frozen=True)
@@ -39,21 +76,27 @@ class FlowSpec:
     # Per-run Budget support: flows whose entry point threads a
     # :class:`repro.engine.Budget` through to the loop kernel.
     accepts_budget: bool = False
-    # Uniform launcher: (problems, model, seed, jobs) -> result.  Adapts
-    # per-flow signature quirks (single-problem flows, seed tuples, ...).
-    runner: Callable[[list[Problem], str, int, "int | str | None"],
-                     Any] | None = None
+    # Uniform launcher: adapts the typed request to per-flow signature
+    # quirks (single-problem flows, seed tuples, ...).
+    runner: Callable[[RunRequest], Any] | None = field(default=None)
 
-    def run(self, problems: list[Problem], model: str = "gpt-4", *,
-            seed: int = 0, jobs: int | str | None = None,
-            budget: Budget | None = None) -> Any:
+    def launch(self, request: RunRequest) -> Any:
+        """Run the flow for a prebuilt :class:`RunRequest`."""
         assert self.runner is not None
-        if budget is not None:
-            if not self.accepts_budget:
-                raise ValueError(
-                    f"flow {self.name!r} does not support --budget flags")
-            return self.runner(problems, model, seed, jobs, budget)
-        return self.runner(problems, model, seed, jobs)
+        if request.budget is not None and not self.accepts_budget:
+            raise ValueError(
+                f"flow {self.name!r} does not support --budget flags")
+        with campaign_scope(request.store):
+            return self.runner(request)
+
+    def run(self, problems: list[Problem], model: Any = "gpt-4", *,
+            seed: int = 0, jobs: int | str | None = None,
+            budget: Budget | None = None,
+            store: CampaignJournal | None = None) -> Any:
+        """Keyword-friendly wrapper that builds the request."""
+        return self.launch(RunRequest(
+            problems=problems, model=model, seed=seed, jobs=jobs,
+            budget=budget, store=store))
 
 
 _REGISTRY: dict[str, FlowSpec] = {}
@@ -76,12 +119,13 @@ def list_flows() -> list[FlowSpec]:
     return [_REGISTRY[name] for name in sorted(_REGISTRY)]
 
 
-def run_flow(name: str, problems: list[Problem], model: str = "gpt-4", *,
+def run_flow(name: str, problems: list[Problem], model: Any = "gpt-4", *,
              seed: int = 0, jobs: int | str | None = None,
-             budget: Budget | None = None) -> Any:
+             budget: Budget | None = None,
+             store: CampaignJournal | None = None) -> Any:
     """Launch a registered flow through its uniform runner adapter."""
     return get_flow(name).run(problems, model, seed=seed, jobs=jobs,
-                              budget=budget)
+                              budget=budget, store=store)
 
 
 _register(FlowSpec(
@@ -90,9 +134,10 @@ _register(FlowSpec(
     result_type=AutoChipResult,
     summary="tree-search generation with tool-feedback rounds (Fig. 4)",
     accepts_budget=True,
-    runner=lambda problems, model, seed, jobs, budget=None: [
-        run_autochip(p, model, seed=seed, jobs=jobs, budget=budget)
-        for p in problems],
+    runner=lambda req: [
+        run_autochip(p, req.model, seed=req.seed, jobs=req.jobs,
+                     budget=req.budget)
+        for p in req.problems],
 ))
 
 _register(FlowSpec(
@@ -100,8 +145,8 @@ _register(FlowSpec(
     entry=run_structured_sweep,
     result_type=StructuredSweep,
     summary="feedback-driven protocol with human escalation ([10])",
-    runner=lambda problems, model, seed, jobs: run_structured_sweep(
-        model, problems, seeds=(seed,), jobs=jobs),
+    runner=lambda req: run_structured_sweep(
+        req.model, req.problems, seeds=(req.seed,), jobs=req.jobs),
 ))
 
 _register(FlowSpec(
@@ -109,8 +154,8 @@ _register(FlowSpec(
     entry=vrank_sweep,
     result_type=VRankSweep,
     summary="self-consistency ranking of Verilog candidates",
-    runner=lambda problems, model, seed, jobs: vrank_sweep(
-        problems, model, seeds=(seed,), jobs=jobs),
+    runner=lambda req: vrank_sweep(
+        req.problems, req.model, seeds=(req.seed,), jobs=req.jobs),
 ))
 
 _register(FlowSpec(
@@ -118,8 +163,8 @@ _register(FlowSpec(
     entry=run_chipchat_tapeout,
     result_type=TapeoutReport,
     summary="conversational co-design with a human in the loop",
-    runner=lambda problems, model, seed, jobs: run_chipchat_tapeout(
-        problems, model, seed=seed, jobs=jobs),
+    runner=lambda req: run_chipchat_tapeout(
+        req.problems, req.model, seed=req.seed, jobs=req.jobs),
 ))
 
 _register(FlowSpec(
@@ -127,8 +172,8 @@ _register(FlowSpec(
     entry=guided_debug_sweep,
     result_type=GuidedDebugSweep,
     summary="high-level-model guided RTL debugging (Section VI)",
-    runner=lambda problems, model, seed, jobs: guided_debug_sweep(
-        problems, model, seeds=(seed,), jobs=jobs),
+    runner=lambda req: guided_debug_sweep(
+        req.problems, req.model, seeds=(req.seed,), jobs=req.jobs),
 ))
 
 _register(FlowSpec(
@@ -136,8 +181,8 @@ _register(FlowSpec(
     entry=hierarchical_sweep,
     result_type=HierarchicalSweep,
     summary="hierarchical decomposition vs direct generation",
-    runner=lambda problems, model, seed, jobs: hierarchical_sweep(
-        problems, model, seeds=(seed,), jobs=jobs),
+    runner=lambda req: hierarchical_sweep(
+        req.problems, req.model, seeds=(req.seed,), jobs=req.jobs),
 ))
 
 _register(FlowSpec(
@@ -145,8 +190,8 @@ _register(FlowSpec(
     entry=assertion_sweep,
     result_type=AssertionSweep,
     summary="AssertLLM/AutoSVA assertion generation and refinement",
-    runner=lambda problems, model, seed, jobs: assertion_sweep(
-        problems, model, seeds=(seed,), jobs=jobs),
+    runner=lambda req: assertion_sweep(
+        req.problems, req.model, seeds=(req.seed,), jobs=req.jobs),
 ))
 
 _register(FlowSpec(
@@ -154,8 +199,8 @@ _register(FlowSpec(
     entry=autobench_sweep,
     result_type=AutoBenchSweep,
     summary="generated-testbench quality with self-correction",
-    runner=lambda problems, model, seed, jobs: autobench_sweep(
-        problems, model, seeds=(seed,), jobs=jobs),
+    runner=lambda req: autobench_sweep(
+        req.problems, req.model, seeds=(req.seed,), jobs=req.jobs),
 ))
 
 _register(FlowSpec(
@@ -164,6 +209,6 @@ _register(FlowSpec(
     result_type=dict,
     summary="hardware-trojan insertion and detector hierarchy",
     uses_model=False,
-    runner=lambda problems, model, seed, jobs: detection_sweep(
-        problems, seeds=(seed,), jobs=jobs),
+    runner=lambda req: detection_sweep(
+        req.problems, seeds=(req.seed,), jobs=req.jobs),
 ))

@@ -6,6 +6,7 @@ Examples::
     python -m repro.fuzz --budget 500 --seed 1 --corpus tests/corpus
     python -m repro.fuzz --seed 4 --replay 17          # re-run one case
     python -m repro.fuzz --seed 4 --show 17            # print its sources
+    python -m repro.fuzz --budget 500 --store --resume # resume a campaign
 
 Exit status: 0 when every oracle agreed on every case, 1 when any
 divergence was found (shrunk findings are written to the corpus
@@ -14,13 +15,15 @@ directory), 2 on usage errors.
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 
+from ..cli import (CliError, activate_store, add_seed_argument,
+                   add_store_arguments, build_parser, fail)
+from ..store import CampaignJournal
 from .grammar import FuzzConfig, generate_case
 from .oracles import ORACLES, run_oracles
-from .runner import DEFAULT_CORPUS_DIR, run_campaign
+from .runner import DEFAULT_CORPUS_DIR, campaign_fingerprint, run_campaign
 
 
 def _parse_oracles(raw: str | None) -> tuple[str, ...] | None:
@@ -29,19 +32,18 @@ def _parse_oracles(raw: str | None) -> tuple[str, ...] | None:
     names = tuple(n.strip() for n in raw.split(",") if n.strip())
     for name in names:
         if name not in ORACLES:
-            raise SystemExit(
+            raise CliError(
                 f"unknown oracle '{name}' (known: {', '.join(ORACLES)})")
     return names
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
+    parser = build_parser(
         prog="python -m repro.fuzz",
         description="Differential fuzzing of the mini-Verilog toolchain.")
     parser.add_argument("--budget", type=int, default=200,
                         help="number of cases to generate (default: 200)")
-    parser.add_argument("--seed", type=int, default=1,
-                        help="campaign seed (default: 1)")
+    add_seed_argument(parser, default=1)
     parser.add_argument("--corpus", default=DEFAULT_CORPUS_DIR,
                         help="directory for shrunk findings "
                              f"(default: {DEFAULT_CORPUS_DIR})")
@@ -60,6 +62,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="override FuzzConfig.max_width")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-100-case progress line")
+    add_store_arguments(parser)
     args = parser.parse_args(argv)
 
     config = FuzzConfig()
@@ -67,7 +70,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.max_width < 1:
             parser.error("--max-width must be >= 1")
         config = FuzzConfig(max_width=args.max_width)
-    oracle_names = _parse_oracles(args.oracles)
+    try:
+        oracle_names = _parse_oracles(args.oracles)
+    except CliError as exc:
+        parser.error(str(exc))
 
     if args.show is not None:
         case = generate_case(args.seed, args.show, config)
@@ -94,6 +100,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.budget < 1:
         parser.error("--budget must be >= 1")
 
+    try:
+        store = activate_store(args)
+    except CliError as exc:
+        return fail(str(exc))
+    journal = None
+    if store is not None:
+        shrink = not args.no_shrink
+        journal = CampaignJournal(
+            store,
+            campaign_fingerprint(args.seed, config, oracle_names, shrink),
+            resume=args.resume)
+
     def progress(index: int, findings: int) -> None:
         if not args.quiet and (index + 1) % 100 == 0:
             print(f"[fuzz] {index + 1}/{args.budget} cases, "
@@ -103,7 +121,7 @@ def main(argv: list[str] | None = None) -> int:
         args.budget, args.seed, config=config,
         corpus_dir=None if args.no_corpus else args.corpus,
         shrink=not args.no_shrink, oracle_names=oracle_names,
-        progress=progress)
+        progress=progress, journal=journal)
 
     print(json.dumps(result.summary(), indent=2))
     if not result.ok:

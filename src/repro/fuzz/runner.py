@@ -6,6 +6,15 @@ records the exact replay command.  Divergences are shrunk (unless
 disabled) with the same oracle as the predicate and written to the
 regression corpus, where ``tests/test_fuzz_corpus.py`` picks them up as
 permanent tier-1 tests.
+
+Checkpointing: given a :class:`~repro.store.CampaignJournal`, the runner
+journals every completed case (reports digest + findings) to the artifact
+store, and a ``--resume`` run replays the journaled prefix — including
+re-materializing finding corpus files — so an interrupted campaign
+restarted with the same seed/config produces the byte-identical
+:class:`CampaignResult` an uninterrupted run would have.  Cases are
+independent and keyed per index, so resuming with a *larger* budget
+extends a finished campaign incrementally.
 """
 
 from __future__ import annotations
@@ -14,6 +23,7 @@ import os
 from dataclasses import dataclass, field
 
 from ..obs import get_metrics, get_tracer
+from ..store import MISS, CampaignJournal
 from .grammar import FuzzCase, FuzzConfig, generate_case
 from .oracles import ORACLES, OracleReport, run_oracles
 from .shrink import ShrinkResult, oracle_predicate, shrink_case
@@ -95,22 +105,44 @@ def write_corpus_entry(finding: FuzzFinding, corpus_dir: str) -> str:
     return path
 
 
+def campaign_fingerprint(seed: int, config: FuzzConfig | None,
+                         oracle_names: tuple[str, ...] | None,
+                         shrink: bool) -> tuple:
+    """Everything that determines a campaign's per-case outcomes.
+
+    The budget is deliberately excluded: cases are keyed per index, so a
+    journal written at budget 50 seeds a resume at budget 100.
+    """
+    return ("fuzz", seed, config or FuzzConfig(), oracle_names, shrink)
+
+
 def run_campaign(budget: int, seed: int,
                  config: FuzzConfig | None = None,
                  corpus_dir: str | None = DEFAULT_CORPUS_DIR,
                  shrink: bool = True,
                  oracle_names: tuple[str, ...] | None = None,
-                 progress=None) -> CampaignResult:
+                 progress=None,
+                 journal: CampaignJournal | None = None) -> CampaignResult:
     """Fuzz ``budget`` cases from ``seed``; returns the campaign record.
 
     ``corpus_dir=None`` disables writing finding files (used by tests);
     ``progress`` is an optional callable ``(index, n_findings)`` invoked
-    after every case.
+    after every case.  A ``journal`` checkpoints each completed case to
+    the artifact store; with its ``resume`` flag set, journaled cases are
+    replayed instead of re-run (byte-identical by construction — the
+    checkpoint is the pickled outcome of the same pure case function).
     """
     config = config or FuzzConfig()
     tracer = get_tracer()
     result = CampaignResult(budget=budget, seed=seed)
     for index in range(budget):
+        if journal is not None:
+            snapshot = journal.lookup("case", index)
+            if snapshot is not MISS:
+                _restore_case(result, snapshot, corpus_dir)
+                if progress is not None:
+                    progress(index, len(result.findings))
+                continue
         case = generate_case(seed, index, config)
         if tracer.enabled:
             span = tracer.span("fuzz.case", index=index,
@@ -127,15 +159,42 @@ def run_campaign(budget: int, seed: int,
             metrics = get_metrics()
             metrics.counter("fuzz.cases").add(1)
             metrics.counter("fuzz.oracle_runs").add(len(reports))
+        case_findings: list[FuzzFinding] = []
         for report in reports:
             if not report.divergence:
                 continue
             finding = _handle_divergence(case, report, shrink, corpus_dir,
                                          tracer)
             result.findings.append(finding)
+            case_findings.append(finding)
+        if journal is not None:
+            journal.record(
+                "case", index,
+                {"oracle_runs": len(reports),
+                 "oracles_skipped": sum(1 for r in reports if r.skipped),
+                 "findings": case_findings})
         if progress is not None:
             progress(index, len(result.findings))
     return result
+
+
+def _restore_case(result: CampaignResult, snapshot: dict,
+                  corpus_dir: str | None) -> None:
+    """Fold one journaled case back into the campaign record.
+
+    Corpus files are re-materialized from the journaled findings —
+    :func:`corpus_entry` is a pure render, so the rewritten file is
+    byte-identical to the one the interrupted run produced.
+    """
+    result.cases_run += 1
+    result.oracle_runs += snapshot["oracle_runs"]
+    result.oracles_skipped += snapshot["oracles_skipped"]
+    for finding in snapshot["findings"]:
+        if corpus_dir is not None:
+            finding.corpus_path = write_corpus_entry(finding, corpus_dir)
+        else:
+            finding.corpus_path = None
+        result.findings.append(finding)
 
 
 def _handle_divergence(case: FuzzCase, report: OracleReport, shrink: bool,

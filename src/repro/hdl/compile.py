@@ -23,8 +23,11 @@ hit *or* cold — materializes fresh objects from the blob, so mutating a
 returned ``CompiledDesign`` (or the AST reachable from it) cannot corrupt
 later hits.  ``pickle.loads`` of a design is ~12x cheaper than re-parsing.
 
-All caches are bounded LRUs with hit/miss/eviction counters; capacities can
-be tuned with ``REPRO_COMPILE_CACHE`` (designs/parses) and
+Each layer is a named region of one shared :class:`repro.store.CacheBackend`
+— a bounded in-memory LRU front by default, tiered over the on-disk
+content-addressed :class:`repro.store.DiskStore` when ``REPRO_STORE=1``, so
+a second process starts warm from the first one's artifacts.  Capacities
+can be tuned with ``REPRO_COMPILE_CACHE`` (designs/parses/programs) and
 ``REPRO_RESULT_CACHE`` (testbench results), and the whole layer disabled
 with ``REPRO_HDL_CACHE=0``.
 """
@@ -34,12 +37,14 @@ from __future__ import annotations
 import hashlib
 import pickle
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
 from . import ast as A
 from ..obs import get_tracer
+from ..store import (CacheStats, MemoryBackend, TieredBackend, content_key,
+                     get_default_store)
+from ..store import LruBlobCache as _LruBlobCache  # noqa: F401 (re-export)
 from .elaborate import Design, elaborate
 from .parser import parse
 
@@ -47,28 +52,6 @@ from .parser import parse
 def source_key(source: str) -> str:
     """Stable content hash used as the cache key for one compilation unit."""
     return hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss/eviction counters for one cache layer."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.lookups
-        return self.hits / total if total else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions, "hit_rate": self.hit_rate}
 
 
 # Process-wide per-layer counters that survive cache replacement.  Bench
@@ -99,46 +82,56 @@ def cumulative_gauges(prefix: str = "hdl.cache_cumulative") -> dict[str, float]:
             for key, value in _cum(layer).as_dict().items()}
 
 
-class _LruBlobCache:
-    """Bounded LRU of pickled blobs (thread-safe; shared by thread pools)."""
+class _LayerView:
+    """One compile-cache layer as a named-region view over the shared
+    :class:`~repro.store.CacheBackend`.
 
-    def __init__(self, capacity: int, cumulative: CacheStats | None = None):
-        self.capacity = max(1, int(capacity))
-        self._data: OrderedDict[object, bytes] = OrderedDict()
-        self.stats = CacheStats()
-        self._cum = cumulative or CacheStats()
-        self._lock = threading.Lock()
+    Keys stay the structured tuples the call sites use; the view hashes
+    them to the backend's string keyspace with
+    :func:`~repro.store.content_key` (parse keys are already digests).
+    Stats, capacity and size report the in-memory tier — in-process cache
+    effectiveness — while disk-tier hits/misses/corruption accumulate in
+    the :class:`~repro.store.DiskStore`'s own ``store.*`` counters.
+    """
+
+    __slots__ = ("_backend", "_memory", "name")
+
+    def __init__(self, backend: TieredBackend | MemoryBackend, name: str):
+        self._backend = backend
+        self._memory = backend.memory \
+            if isinstance(backend, TieredBackend) else backend
+        self.name = name
+
+    @staticmethod
+    def _skey(key: object) -> str:
+        return key if isinstance(key, str) else content_key(key)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._memory.region(self.name).stats
+
+    @property
+    def capacity(self) -> int:
+        return self._memory.region(self.name).capacity
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._memory.region(self.name))
 
     def get(self, key: object) -> bytes | None:
-        with self._lock:
-            blob = self._data.get(key)
-            if blob is None:
-                self.stats.misses += 1
-                self._cum.misses += 1
-                return None
-            self._data.move_to_end(key)
-            self.stats.hits += 1
-            self._cum.hits += 1
-            return blob
+        return self._backend.get(self.name, self._skey(key))
 
     def put(self, key: object, blob: bytes) -> None:
-        with self._lock:
-            if key in self._data:
-                self._data.move_to_end(key)
-                self._data[key] = blob
-                return
-            self._data[key] = blob
-            while len(self._data) > self.capacity:
-                self._data.popitem(last=False)
-                self.stats.evictions += 1
-                self._cum.evictions += 1
+        self._backend.put(self.name, self._skey(key), blob)
+
+    def record_live_hit(self) -> None:
+        """Count a hit served from a live (unpickled) side table."""
+        lru = self._memory.region(self.name)
+        lru.stats.hits += 1
+        lru._cum.hits += 1
 
     def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
+        """Drop the in-memory tier; persisted artifacts survive."""
+        self._memory.region(self.name).clear()
 
 
 @dataclass(frozen=True)
@@ -170,20 +163,39 @@ def cache_enabled() -> bool:
 
 
 class CompileCache:
-    """Three-layer compile cache: parse, link+elaborate, testbench results."""
+    """Four-layer compile cache: parse, link+elaborate, programs, results.
+
+    The layers are views over one shared :class:`~repro.store.CacheBackend`
+    — memory-only by default, tiered over the process-wide
+    :class:`~repro.store.DiskStore` when ``REPRO_STORE=1`` (resolved live,
+    so flipping the knob mid-process takes effect on the next lookup).  A
+    custom ``backend`` (any :class:`~repro.store.TieredBackend` or
+    :class:`~repro.store.MemoryBackend`) overrides both.
+    """
 
     def __init__(self, parse_capacity: int | None = None,
                  design_capacity: int | None = None,
-                 result_capacity: int | None = None):
+                 result_capacity: int | None = None,
+                 backend: TieredBackend | MemoryBackend | None = None):
         from ..config import get_settings
         settings = get_settings()
         cap = settings.compile_cache_capacity
-        self._parses = _LruBlobCache(parse_capacity or cap, _cum("parse"))
-        self._designs = _LruBlobCache(design_capacity or cap, _cum("design"))
-        self._results = _LruBlobCache(
-            result_capacity or settings.result_cache_capacity, _cum("result"))
-        self._programs = _LruBlobCache(design_capacity or cap,
-                                       _cum("program"))
+        if backend is None:
+            capacities = {
+                "parse": parse_capacity or cap,
+                "design": design_capacity or cap,
+                "program": design_capacity or cap,
+                "result": result_capacity or settings.result_cache_capacity,
+            }
+            backend = TieredBackend(
+                MemoryBackend(capacities,
+                              cumulative={r: _cum(r) for r in capacities}),
+                disk=get_default_store)
+        self._backend = backend
+        self._parses = _LayerView(backend, "parse")
+        self._designs = _LayerView(backend, "design")
+        self._results = _LayerView(backend, "result")
+        self._programs = _LayerView(backend, "program")
         # Live ASTs for internal linking only (never handed to callers):
         # avoids an unpickle on the design-miss path.  Bounded alongside
         # the parse LRU by periodic pruning.
@@ -203,8 +215,7 @@ class CompileCache:
         with self._lock:
             live = self._live.get(key)
         if live is not None:
-            self._parses.stats.hits += 1
-            self._parses._cum.hits += 1
+            self._parses.record_live_hit()
             return key, live
         blob = self._parses.get(key)
         if blob is not None:
@@ -274,8 +285,7 @@ class CompileCache:
         with self._lock:
             live = self._live_programs.get(design_key)
         if live is not None:
-            self._programs.stats.hits += 1
-            self._programs._cum.hits += 1
+            self._programs.record_live_hit()
             return live
         blob = self._programs.get(design_key)
         if blob is None:

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-import argparse
 import json
 import sys
 
+from ..cli import (CliError, activate_store, add_seed_argument,
+                   add_store_arguments, build_parser, fail)
 from ..core.report import format_table
 from ..service.broker import BrokerConfig
 from .harness import run_load
@@ -13,13 +14,13 @@ from .workload import LoadConfig
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
+    parser = build_parser(
         prog="python -m repro.loadgen",
         description="Replay seeded user sessions against the sharded "
                     "serving router and report latency/shed/breaker SLOs.")
     parser.add_argument("--users", type=int, default=500)
     parser.add_argument("--shards", type=int, default=1)
-    parser.add_argument("--seed", type=int, default=0)
+    add_seed_argument(parser)
     parser.add_argument("--duration", type=float, default=3.0,
                         help="arrival horizon in seconds (pre-scaling)")
     parser.add_argument("--time-scale", type=float, default=1.0,
@@ -31,7 +32,17 @@ def main(argv=None) -> int:
     parser.add_argument("--tenant-share", type=float, default=0.25)
     parser.add_argument("--json", dest="json_out", default=None,
                         help="also write the report as JSON to this path")
+    add_store_arguments(parser, resume=False)
     args = parser.parse_args(argv)
+
+    if args.users < 1:
+        parser.error("--users must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    try:
+        activate_store(args)
+    except CliError as exc:
+        return fail(str(exc))
 
     cfg = LoadConfig(users=args.users, seed=args.seed,
                      duration_s=args.duration, time_scale=args.time_scale)

@@ -64,14 +64,18 @@ def flush_metrics(tracer: Tracer | None = None) -> dict | None:
     if not tracer.enabled:
         return None
     snapshot = get_metrics().snapshot()
-    # Lazy import: avoid an import cycle with repro.hdl.
+    # Lazy imports: avoid an import cycle with repro.hdl / repro.store.
     from ..hdl.compile import cumulative_gauges, get_default_cache
+    from ..store import store_gauges
     # The instance gauges cover the current default cache; the cumulative
     # gauges survive cache replacement (bench harnesses install private
-    # caches), so traced runs always report nonzero cache activity.
+    # caches), so traced runs always report nonzero cache activity.  The
+    # store gauges describe the disk tier (per-region hits/misses/corrupt
+    # blobs) when REPRO_STORE is enabled.
     gauges = {**snapshot.pop("gauges", {}),
               **get_default_cache().metrics_gauges(),
-              **cumulative_gauges()}
+              **cumulative_gauges(),
+              **store_gauges()}
     record = {"type": "metrics", "gauges": gauges, **snapshot}
     tracer.emit(record)
     return record

@@ -138,6 +138,30 @@ def service_table(records: Iterable[dict]) -> str:
     return format_table(["service metric", "kind", "value"], rows)
 
 
+def store_table(records: Iterable[dict]) -> str:
+    """Artifact-store breakdown from ``store.*`` gauges and counters.
+
+    One row per region/stat gauge (hits, misses, corrupt blobs, writes)
+    from the last metrics snapshot, plus any live ``store.*`` counters.
+    Returns ``""`` when the run never touched the persistent store.
+    """
+    snapshots = [r for r in _coerce_records(records)
+                 if r.get("type") == "metrics"]
+    if not snapshots:
+        return ""
+    snap = snapshots[-1]
+    rows: list[list[object]] = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        if name.startswith("store."):
+            rows.append([name, "counter", value])
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        if name.startswith("store."):
+            rows.append([name, "gauge", value])
+    if not rows:
+        return ""
+    return format_table(["store metric", "kind", "value"], rows)
+
+
 def render(source) -> str:
     """Full run summary: span aggregation plus the latest metrics snapshot.
 
@@ -159,6 +183,10 @@ def render(source) -> str:
     if service:
         lines.append("")
         lines.append(service)
+    store = store_table(records)
+    if store:
+        lines.append("")
+        lines.append(store)
     return "\n".join(lines)
 
 
@@ -189,26 +217,31 @@ def span_tree(records: Iterable[dict], max_depth: int = 6) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     import json
-    import sys
-    args = list(sys.argv[1:] if argv is None else argv)
-    if not args:
-        print("usage: python -m repro.obs.report <trace.jsonl> [--tree]")
+
+    from ..cli import build_parser, fail
+    parser = build_parser(
+        prog="python -m repro.obs.report",
+        description="Render span/metrics tables from a JSONL trace dump.")
+    parser.add_argument("trace", nargs="?", metavar="trace.jsonl",
+                        help="trace file written via REPRO_TRACE_FILE")
+    parser.add_argument("--tree", action="store_true",
+                        help="also print the indented span tree")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.trace is None:
+        parser.print_usage()
         return 2
-    path = args[0]
+    path = args.trace
     try:
         print(render(path))
-        if "--tree" in args[1:]:
+        if args.tree:
             print()
             print(span_tree(path))
     except BrokenPipeError:  # e.g. piped into head
         return 0
     except OSError as exc:
-        print(f"error: cannot read trace '{path}': {exc}", file=sys.stderr)
-        return 2
+        return fail(f"error: cannot read trace '{path}': {exc}")
     except json.JSONDecodeError as exc:
-        print(f"error: '{path}' is not a JSONL trace: {exc}",
-              file=sys.stderr)
-        return 2
+        return fail(f"error: '{path}' is not a JSONL trace: {exc}")
     return 0
 
 

@@ -1,0 +1,379 @@
+"""Cache backends: one protocol, three implementations.
+
+Every cache in the repo stores the same thing — a pickled blob under a
+content-derived key — but before this module each layer rolled its own
+container (four private LRUs inside ``hdl.compile``, ad-hoc dicts in the
+fuzz corpus, nothing persistent anywhere).  :class:`CacheBackend` is the
+one surface they all share now:
+
+* :class:`MemoryBackend` — bounded per-region LRUs; the in-process front.
+* :class:`DiskStore` — an on-disk content-addressed store
+  (``<root>/<region>/<aa>/<digest>`` files).  Writes are atomic (temp
+  file + ``os.replace`` in the same directory), so concurrent writers —
+  including :class:`~repro.exec.parallel.ParallelEvaluator` process
+  workers sharing one store directory — can never expose a torn blob.
+  Reads are corruption-tolerant: a truncated or garbage file is treated
+  as a miss (and counted), never an exception.
+* :class:`TieredBackend` — memory front, disk behind; disk hits are
+  promoted into memory.
+
+Keys are strings; :func:`content_key` maps the repo's structured cache
+keys (tuples of hashes, tops, seeds) to a stable SHA-256 hex digest, so
+the same artifact lands at the same path in every process.
+
+Poison safety is inherited from the blob discipline ``hdl.compile``
+established: backends store and return ``bytes``, and callers materialize
+fresh objects from the blob on every lookup — a mutated deserialization
+can never corrupt later hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping, Protocol, runtime_checkable
+
+from ..obs import get_metrics, get_tracer
+
+
+def content_key(key: object) -> str:
+    """Stable SHA-256 digest of a structured cache key.
+
+    ``repr`` of the repo's key shapes (nested tuples of str/int/bool/None,
+    frozen dataclasses) is deterministic across processes — unlike
+    ``hash()``, which is randomized, and unlike ``pickle``, whose memo
+    layout can differ for equal values.
+    """
+    if isinstance(key, str):
+        raw = key
+    else:
+        raw = repr(key)
+    return hashlib.sha256(raw.encode("utf-8", "replace")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction/corruption counters for one cache region."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "corrupt": self.corrupt,
+                "hit_rate": self.hit_rate}
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """The unified cache surface: pickled blobs under string keys, grouped
+    into named regions (``parse``, ``design``, ``result``, ``program``,
+    ``campaign``, ...)."""
+
+    def get(self, region: str, key: str) -> bytes | None: ...
+
+    def put(self, region: str, key: str, blob: bytes) -> None: ...
+
+    def stats(self) -> dict[str, CacheStats]: ...
+
+
+class LruBlobCache:
+    """Bounded LRU of pickled blobs (thread-safe; shared by thread pools)."""
+
+    def __init__(self, capacity: int, cumulative: CacheStats | None = None):
+        self.capacity = max(1, int(capacity))
+        self._data: OrderedDict[object, bytes] = OrderedDict()
+        self.stats = CacheStats()
+        self._cum = cumulative or CacheStats()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: object, record: bool = True) -> bytes | None:
+        with self._lock:
+            blob = self._data.get(key)
+            if blob is None:
+                if record:
+                    self.stats.misses += 1
+                    self._cum.misses += 1
+                return None
+            self._data.move_to_end(key)
+            if record:
+                self.stats.hits += 1
+                self._cum.hits += 1
+            return blob
+
+    def put(self, key: object, blob: bytes) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = blob
+                return
+            self._data[key] = blob
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+                self._cum.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class MemoryBackend:
+    """Per-region bounded LRUs behind the :class:`CacheBackend` protocol.
+
+    ``capacities`` fixes specific regions; unnamed regions get
+    ``default_capacity``.  ``cumulative`` optionally shares process-wide
+    per-region counters (see ``repro.hdl.compile``'s registry) so stats
+    survive cache replacement.
+    """
+
+    def __init__(self, capacities: Mapping[str, int] | None = None,
+                 default_capacity: int = 256,
+                 cumulative: Mapping[str, CacheStats] | None = None):
+        self._capacities = dict(capacities or {})
+        self._default_capacity = max(1, int(default_capacity))
+        self._cumulative = dict(cumulative or {})
+        self._regions: dict[str, LruBlobCache] = {}
+        self._lock = threading.Lock()
+
+    def region(self, region: str) -> LruBlobCache:
+        with self._lock:
+            lru = self._regions.get(region)
+            if lru is None:
+                lru = LruBlobCache(
+                    self._capacities.get(region, self._default_capacity),
+                    self._cumulative.get(region))
+                self._regions[region] = lru
+            return lru
+
+    def get(self, region: str, key: str) -> bytes | None:
+        return self.region(region).get(key)
+
+    def put(self, region: str, key: str, blob: bytes) -> None:
+        self.region(region).put(key, blob)
+
+    def stats(self) -> dict[str, CacheStats]:
+        with self._lock:
+            return {name: lru.stats for name, lru in self._regions.items()}
+
+    def sizes(self) -> dict[str, int]:
+        with self._lock:
+            return {name: len(lru) for name, lru in self._regions.items()}
+
+    def clear(self) -> None:
+        with self._lock:
+            regions = list(self._regions.values())
+        for lru in regions:
+            lru.clear()
+
+
+class DiskStore:
+    """Content-addressed on-disk blob store; see the module docstring.
+
+    Layout: ``<root>/<region>/<digest[:2]>/<digest>.blob``.  The two-char
+    fan-out keeps directory listings tractable for large campaigns.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self._stats: dict[str, CacheStats] = {}
+        self._lock = threading.Lock()
+        os.makedirs(self.root, exist_ok=True)
+
+    # -- internals ----------------------------------------------------------
+
+    def _region_stats(self, region: str) -> CacheStats:
+        with self._lock:
+            stats = self._stats.get(region)
+            if stats is None:
+                stats = self._stats[region] = CacheStats()
+            return stats
+
+    def _path(self, region: str, key: str) -> str:
+        digest = key if _is_digest(key) else content_key(key)
+        return os.path.join(self.root, region, digest[:2], digest + ".blob")
+
+    @staticmethod
+    def _observe(event: str) -> None:
+        if get_tracer().enabled:
+            get_metrics().counter(f"store.{event}").add(1)
+
+    # -- CacheBackend -------------------------------------------------------
+
+    def get(self, region: str, key: str) -> bytes | None:
+        stats = self._region_stats(region)
+        path = self._path(region, key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except (FileNotFoundError, IsADirectoryError, NotADirectoryError):
+            stats.misses += 1
+            self._observe("misses")
+            return None
+        except OSError:
+            # Unreadable entry (permissions, I/O error): a miss, not a crash.
+            stats.misses += 1
+            stats.corrupt += 1
+            self._observe("misses")
+            self._observe("corrupt")
+            return None
+        if not _blob_ok(blob):
+            # Truncated or garbage entry — e.g. a crash mid-write on a
+            # filesystem without atomic rename, or external vandalism.
+            stats.misses += 1
+            stats.corrupt += 1
+            self._observe("misses")
+            self._observe("corrupt")
+            return None
+        stats.hits += 1
+        self._observe("hits")
+        return _strip_frame(blob)
+
+    def put(self, region: str, key: str, blob: bytes) -> None:
+        path = self._path(region, key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            # Atomic publish: write to a private temp file in the *same*
+            # directory, then rename over the final name.  Readers see
+            # either nothing or the complete framed blob; concurrent
+            # writers of the same key race benignly (same content).
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(_frame(blob))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A full or read-only disk degrades the store to a pass-through;
+            # it never takes the run down.
+            return
+        self._region_stats(region)  # materialize the region row
+        self._observe("writes")
+
+    def stats(self) -> dict[str, CacheStats]:
+        with self._lock:
+            return dict(self._stats)
+
+    # -- management ---------------------------------------------------------
+
+    def keys(self, region: str) -> list[str]:
+        """Digests present in one region (journal inspection, tests)."""
+        region_dir = os.path.join(self.root, region)
+        out: list[str] = []
+        if not os.path.isdir(region_dir):
+            return out
+        for shard in sorted(os.listdir(region_dir)):
+            shard_dir = os.path.join(region_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".blob"):
+                    out.append(name[:-len(".blob")])
+        return out
+
+    def discard(self, region: str, key: str) -> bool:
+        """Remove one entry; returns whether it existed."""
+        try:
+            os.unlink(self._path(region, key))
+            return True
+        except OSError:
+            return False
+
+    def gauges(self, prefix: str = "store") -> dict[str, float]:
+        """Flat ``prefix.region.stat`` view for telemetry snapshots."""
+        with self._lock:
+            regions = sorted(self._stats)
+        return {f"{prefix}.{region}.{stat}": round(float(value), 6)
+                for region in regions
+                for stat, value in self._region_stats(region)
+                .as_dict().items()}
+
+
+# Blob framing: an 8-byte header carrying a magic tag and the payload
+# length.  ``_blob_ok`` validates both, which is what turns a truncated
+# write (or arbitrary garbage dropped into the store directory) into a
+# clean miss instead of a pickle exception deep inside a flow.
+_MAGIC = b"RPS1"
+
+
+def _frame(blob: bytes) -> bytes:
+    return _MAGIC + len(blob).to_bytes(4, "big") + blob
+
+
+def _blob_ok(framed: bytes) -> bool:
+    if len(framed) < 8 or not framed.startswith(_MAGIC):
+        return False
+    return int.from_bytes(framed[4:8], "big") == len(framed) - 8
+
+
+def _strip_frame(framed: bytes) -> bytes:
+    return framed[8:]
+
+
+def _is_digest(key: str) -> bool:
+    return len(key) == 64 and all(c in "0123456789abcdef" for c in key)
+
+
+class TieredBackend:
+    """Memory front + optional disk behind, as one :class:`CacheBackend`.
+
+    ``disk`` may be a :class:`DiskStore`, ``None``, or a zero-argument
+    callable returning either — the callable form re-resolves on every
+    access, so a backend built at import time honours ``REPRO_STORE``
+    flips made later (tests, operators) without rebuilding caches.
+    """
+
+    def __init__(self, memory: MemoryBackend, disk=None):
+        self.memory = memory
+        self._disk = disk
+
+    @property
+    def disk(self) -> DiskStore | None:
+        disk = self._disk
+        return disk() if callable(disk) else disk
+
+    def get(self, region: str, key: str) -> bytes | None:
+        blob = self.memory.get(region, key)
+        if blob is not None:
+            return blob
+        disk = self.disk
+        if disk is None:
+            return None
+        blob = disk.get(region, key)
+        if blob is not None:
+            # Promote: later lookups in this process stay off the disk.
+            self.memory.put(region, key, blob)
+        return blob
+
+    def put(self, region: str, key: str, blob: bytes) -> None:
+        self.memory.put(region, key, blob)
+        disk = self.disk
+        if disk is not None:
+            disk.put(region, key, blob)
+
+    def stats(self) -> dict[str, CacheStats]:
+        return self.memory.stats()

@@ -8,11 +8,25 @@ traceback — for ``python -m repro.flows`` and ``python -m repro.obs.report``.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
 from repro.flows.__main__ import main as flows_main
+from repro.fuzz.__main__ import main as fuzz_main
+from repro.loadgen.__main__ import main as loadgen_main
 from repro.obs.report import main as report_main
+from repro.store import reset_default_store
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_store(monkeypatch):
+    """CLI error tests must not be rescued by an ambient REPRO_STORE."""
+    monkeypatch.delenv("REPRO_STORE", raising=False)
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    reset_default_store()
+    yield
+    reset_default_store()
 
 
 class TestFlowsCli:
@@ -79,10 +93,73 @@ class TestFlowsCliBudget:
         assert "c2_gray" in out
 
 
+class TestStoreFlagConventions:
+    """``--store``/``--resume`` behave identically across the CLIs."""
+
+    def test_flows_resume_without_store(self, capsys):
+        assert flows_main(["vrank", "--problems", "c1_mux2",
+                           "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "--resume requires an active artifact store" in err
+
+    def test_fuzz_resume_without_store(self, capsys):
+        assert fuzz_main(["--budget", "1", "--no-corpus", "--resume"]) == 2
+        err = capsys.readouterr().err
+        assert "--resume requires an active artifact store" in err
+
+    def test_resume_honours_env_enabled_store(self, tmp_path, monkeypatch,
+                                              capsys):
+        monkeypatch.setenv("REPRO_STORE", "1")
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        reset_default_store()
+        assert fuzz_main(["--budget", "2", "--no-corpus", "--quiet",
+                          "--resume"]) == 0
+
+    def test_store_flag_takes_optional_directory(self, tmp_path, capsys):
+        assert fuzz_main(["--budget", "2", "--no-corpus", "--quiet",
+                          "--store", str(tmp_path / "s")]) == 0
+        assert os.path.isdir(tmp_path / "s" / "campaign")
+
+
+class TestSeedConvention:
+    """Every CLI rejects a non-integer --seed with exit status 2."""
+
+    @pytest.mark.parametrize("main,argv", [
+        (flows_main, ["vrank", "--seed", "x"]),
+        (fuzz_main, ["--seed", "x"]),
+        (loadgen_main, ["--seed", "x"]),
+    ])
+    def test_bad_seed_exits_two(self, main, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "--seed" in capsys.readouterr().err
+
+
+class TestLoadgenCli:
+    def test_zero_users_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            loadgen_main(["--users", "0"])
+        assert excinfo.value.code == 2
+        assert "--users" in capsys.readouterr().err
+
+    def test_zero_shards_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            loadgen_main(["--users", "5", "--shards", "0"])
+        assert excinfo.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+
 class TestObsReportCli:
     def test_no_arguments_prints_usage(self, capsys):
         assert report_main([]) == 2
         assert "usage:" in capsys.readouterr().out
+
+    def test_unknown_flag_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            report_main(["trace.jsonl", "--bogus"])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
 
     def test_missing_trace_file(self, capsys):
         assert report_main(["/nonexistent/trace.jsonl"]) == 2

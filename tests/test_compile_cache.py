@@ -10,9 +10,21 @@ from repro.hdl import (CompileCache, HdlError, compile_design,
                        get_default_cache, run_testbench, set_default_cache,
                        source_key)
 from repro.hdl.testbench import StimulusRunner
+from repro.store import reset_default_store
 
 
 PROBLEM = all_problems()[3]
+
+
+@pytest.fixture(autouse=True)
+def _memory_only_store(monkeypatch):
+    """These tests pin the *memory tier's* cold/hit/eviction contract; an
+    ambient ``REPRO_STORE`` (e.g. the CI warm-start lane) would satisfy
+    cold lookups from disk and break the assertions."""
+    monkeypatch.setenv("REPRO_STORE", "0")
+    reset_default_store()
+    yield
+    reset_default_store()
 
 
 @pytest.fixture()

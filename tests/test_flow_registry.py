@@ -1,12 +1,15 @@
 """Registry + CLI tests, including unified-signature conformance."""
 
+import dataclasses
 import inspect
+import pickle
 
 import pytest
 
 from repro.bench.problems import get_problem
-from repro.flows import FlowSpec, get_flow, list_flows, run_flow
+from repro.flows import FlowSpec, RunRequest, get_flow, list_flows, run_flow
 from repro.flows.__main__ import main as flows_cli
+from repro.store import CampaignJournal, DiskStore
 
 
 class TestRegistry:
@@ -63,6 +66,65 @@ class TestSignatureConformance:
             params = inspect.signature(spec.entry).parameters
             annotation = str(params["model"].annotation)
             assert "LLMClient" in annotation, spec.name
+
+
+class TestRunRequest:
+    """Typed launches: every runner consumes one keyword-only request."""
+
+    def test_fields_are_keyword_only(self):
+        problems = [get_problem("c1_mux2")]
+        with pytest.raises(TypeError):
+            RunRequest(problems)  # positional launch args are gone
+        request = RunRequest(problems=problems, seed=3)
+        assert request.seed == 3
+        assert request.model == "gpt-4"
+        assert request.jobs is None
+        assert request.budget is None
+        assert request.store is None
+
+    def test_request_is_frozen(self):
+        request = RunRequest(problems=[get_problem("c1_mux2")])
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.seed = 1
+
+    def test_runners_take_exactly_one_request(self):
+        for spec in list_flows():
+            params = inspect.signature(spec.runner).parameters
+            assert len(params) == 1, spec.name
+
+    def test_launch_rejects_budget_on_unsupported_flow(self):
+        from repro.engine import Budget
+        spec = get_flow("vrank")
+        request = RunRequest(problems=[get_problem("c1_mux2")],
+                             budget=Budget(max_evals=1))
+        with pytest.raises(ValueError, match="does not support"):
+            spec.launch(request)
+
+    def test_fingerprint_excludes_jobs(self):
+        problems = [get_problem("c1_mux2")]
+        serial = RunRequest(problems=problems, seed=2, jobs=None)
+        fanned = RunRequest(problems=problems, seed=2, jobs=4)
+        assert serial.fingerprint_parts() == fanned.fingerprint_parts()
+
+    def test_launch_with_store_checkpoints_and_resumes(self, tmp_path):
+        """A flow launched with a journal writes checkpoints, and the
+        resumed launch replays them into identical results."""
+        problems = [get_problem("c1_mux2")]
+        fresh = run_flow("security", problems, seed=0)
+
+        store = DiskStore(str(tmp_path))
+        spec = get_flow("security")
+        campaign = ("flow", "security") + RunRequest(
+            problems=problems, seed=0).fingerprint_parts()
+        writer = CampaignJournal(store, campaign)
+        spec.launch(RunRequest(problems=problems, seed=0, store=writer))
+        assert writer.written > 0
+
+        reader = CampaignJournal(store, campaign, resume=True)
+        resumed = spec.launch(RunRequest(problems=problems, seed=0,
+                                         store=reader))
+        assert reader.restored == writer.written
+        assert pickle.dumps(resumed) == pickle.dumps(fresh)
 
 
 class TestRunFlow:
