@@ -38,6 +38,8 @@ ENV_SERVICE_SHARDS = "REPRO_SERVICE_SHARDS"
 ENV_SERVICE_WORKERS = "REPRO_SERVICE_WORKERS"
 ENV_SERVICE_TENANT_SHARE = "REPRO_SERVICE_TENANT_SHARE"
 ENV_FULL_EVAL = "REPRO_FULL_EVAL"
+ENV_CRITIC = "REPRO_CRITIC"
+ENV_CRITIC_JUDGE = "REPRO_CRITIC_JUDGE"
 ENV_GEN_CONCURRENCY = "REPRO_GEN_CONCURRENCY"
 ENV_SIM_ENGINE = "REPRO_SIM_ENGINE"
 ENV_STORE = "REPRO_STORE"
@@ -189,6 +191,18 @@ class Settings:
     def trace_file(self) -> str:
         return self.env_str(ENV_TRACE_FILE)
 
+    # -- critic --------------------------------------------------------------
+
+    @property
+    def critic_enabled(self) -> bool:
+        """``REPRO_CRITIC=1`` turns on the two-stage candidate critic."""
+        return self.env_bool(ENV_CRITIC, False)
+
+    @property
+    def critic_judge_enabled(self) -> bool:
+        """``REPRO_CRITIC_JUDGE=1`` adds the seeded LLM-judge stage."""
+        return self.env_bool(ENV_CRITIC_JUDGE, False)
+
     # -- model-serving broker ------------------------------------------------
 
     @property
@@ -312,6 +326,8 @@ class Settings:
             "store": self.store_enabled,
             "store_dir": self.store_dir,
             "full_eval": self.full_eval,
+            "critic": self.critic_enabled,
+            "critic_judge": self.critic_judge_enabled,
         }
 
 

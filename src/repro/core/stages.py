@@ -76,7 +76,16 @@ class RtlGenerationStage(Stage):
     def run(self, state: DesignState, ctx: StageContext) -> bool:
         depth = ctx.autochip_depth if ctx.enable_feedback else 1
         chip = AutoChip(ctx.llm, AutoChipConfig(k=ctx.autochip_k, depth=depth))
-        outcome = chip.run(ctx.problem)
+        # On an agent re-open, downstream stages have already produced
+        # lint findings; thread them into the regeneration prompt instead
+        # of discarding them.  First pass: no warnings, empty feedback,
+        # identical prompt to before.
+        feedback = ""
+        if ctx.enable_feedback and state.lint_warnings:
+            shown = state.lint_warnings[:8]
+            feedback = ("static analysis of the previous attempt reported:\n"
+                        + "\n".join(shown))
+        outcome = chip.run(ctx.problem, initial_feedback=feedback)
         state.rtl_source = outcome.best_source
         state.module_name = ctx.problem.module_name
         state.record(self.name, outcome.success,
@@ -103,8 +112,18 @@ class StaticAnalysisStage(Stage):
         state.lint_warnings = warnings
         blocking = [w for w in warnings if "LINT-UNDECL" in w
                     or "LINT-MULTIDRIVE" in w]
+        from ..critic import resolve_critic
+        critic = resolve_critic("agent", seed=ctx.seed)
+        if critic is not None:
+            verdict = critic.review([state.rtl_source],
+                                    ctx.problem.module_name)[0]
+            if not verdict.ok:
+                extra = [str(f) for f in verdict.failures]
+                state.lint_warnings = warnings + extra
+                blocking = blocking + extra
         state.record(self.name, not blocking,
-                     f"{len(warnings)} warnings ({len(blocking)} blocking)")
+                     f"{len(state.lint_warnings)} warnings "
+                     f"({len(blocking)} blocking)")
         return not blocking
 
 

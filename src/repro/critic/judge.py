@@ -1,0 +1,108 @@
+"""Stage-two critic: a seeded, simulated LLM judge.
+
+The judge models what a production deployment would get from asking a
+second LLM "is this candidate plausible RTL for the task?".  Like every
+model in this repo it is *simulated but honest*: the verdict is a pure
+function of ``(candidate text, seed)`` — a salted hash drives both the
+feature noise and the borderline calls — so it exhibits realistic
+false-accept/false-reject behaviour (measured in ``BENCH_critic.json``)
+while staying byte-identical across replays.
+
+Determinism under batching: the judge backend exposes a ``judge(text)``
+method, so under ``REPRO_SERVICE=1`` verdicts ride the broker's
+per-model lanes exactly like ``generate``/``refine`` calls.  Because
+``judge`` reads nothing but its argument and the constructor seed, lane
+scheduling order cannot change any verdict — the service path returns
+the same bytes as the direct path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llm.model import _stable_seed
+from .verdict import ACCEPT, TAX_JUDGE, CriticFailure, Verdict
+
+# Textual smells a reviewer model would key on.  Each carries a weight;
+# the total plus seeded noise is compared against the suspicion
+# threshold.  The list is ordered; iteration order is part of the
+# deterministic contract.
+_SMELLS = (
+    ("x_literal", "'bx", 0.25),
+    ("corrupt_literal", "_wrong", 0.60),
+    ("rare_trigger", "== 8'h", 0.20),
+    ("dead_branch", "1'b0) ?", 0.20),
+)
+
+_THRESHOLD = 0.5
+_NOISE = 0.35
+
+
+@dataclass(frozen=True)
+class _JudgeProfile:
+    """Minimal profile so the broker can key a lane for the judge."""
+
+    name: str = "critic-judge"
+
+
+class SimulatedJudge:
+    """Deterministic judge backend; rides broker lanes via kind='judge'."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.profile = _JudgeProfile()
+
+    def judge(self, text: str) -> Verdict:
+        """Score one candidate; pure function of (text, self.seed)."""
+        score = 0.0
+        smells = []
+        for name, needle, weight in _SMELLS:
+            if needle in text:
+                score += weight
+                smells.append(name)
+        # Salted noise models reviewer uncertainty: near-threshold
+        # candidates flip with the seed, which is exactly the
+        # false-accept/false-reject behaviour the bench measures.
+        noise_seed = _stable_seed(self.seed, "judge", text)
+        noise = (noise_seed % 10_000) / 10_000.0 * _NOISE
+        score += noise
+        if score < _THRESHOLD:
+            return ACCEPT
+        detail = (f"suspicion {score:.2f} >= {_THRESHOLD}"
+                  + (f" ({', '.join(smells)})" if smells else ""))
+        return Verdict(ok=False, stage="judge", failures=(
+            CriticFailure(TAX_JUDGE, "llm-judge", detail),))
+
+
+class JudgeClient:
+    """Routes judge calls directly or through the broker seam.
+
+    Mirrors :class:`~repro.service.client.ServiceClient`: when a broker
+    is supplied the call is submitted to the judge backend's lane with a
+    stable key, otherwise it is invoked in-process.  Both paths hit the
+    same pure ``SimulatedJudge.judge``, so results are identical.
+    """
+
+    def __init__(self, seed: int = 0, broker=None):
+        self.backend = SimulatedJudge(seed)
+        self.broker = broker
+
+    @property
+    def seed(self) -> int:
+        return self.backend.seed
+
+    def judge(self, text: str) -> Verdict:
+        if self.broker is None:
+            return self.backend.judge(text)
+        key = _stable_seed(self.backend.seed, "judge", text)
+        return self.broker.call(self.backend, "judge", (text,), key=key)
+
+
+def resolve_judge(seed: int = 0) -> JudgeClient:
+    """Judge client honouring ``REPRO_SERVICE`` (broker seam) settings."""
+    from ..config import get_settings
+    broker = None
+    if get_settings().service_enabled:
+        from ..service.broker import get_default_broker
+        broker = get_default_broker()
+    return JudgeClient(seed=seed, broker=broker)

@@ -145,6 +145,19 @@ class RefinementEngine:
     ``log_rounds``, appends a :class:`RoundLog` per round *before* the
     feedback hook runs (so the log shows the feedback each round consumed,
     not the feedback it produced).
+
+    ``critic(state, candidates) -> list[Verdict]`` is the optional
+    post-generation validation hook (see :mod:`repro.critic`).  Verdicts
+    are recorded on the run record; with ``critic_filter`` (the default)
+    rejected candidates are dropped before evaluation — unless *every*
+    candidate is rejected, in which case all are kept (the loop must
+    still produce a best-so-far).  Rejected candidates' verdicts are
+    appended to the next round's feedback as repair context.  Flows whose
+    selectors index candidates positionally (the hierarchical A/B
+    comparison) pass ``critic_filter=False`` to keep annotate-only
+    semantics.  With ``critic=None`` — the default, and what
+    ``resolve_critic`` yields when ``REPRO_CRITIC=0`` — the step body is
+    exactly the pre-critic code path.
     """
 
     def __init__(self, *,
@@ -164,6 +177,8 @@ class RefinementEngine:
                  span_name: str | None = "engine.round",
                  span_attrs: Callable[[RoundState], dict] | None = None,
                  log_rounds: bool = True,
+                 critic: Callable[[RoundState, list], list] | None = None,
+                 critic_filter: bool = True,
                  clock: Callable[[], float] = time.monotonic):
         self.candidates = candidates
         self.evaluate = evaluate
@@ -172,6 +187,8 @@ class RefinementEngine:
         self.stop_after = stop_after
         self.feedback = feedback
         self.log_rounds = log_rounds
+        self.critic = critic
+        self.critic_filter = critic_filter
         self.kernel = LoopKernel(step=self._step, stop=stop, budget=budget,
                                  record=record, max_rounds=max_rounds,
                                  span_name=span_name, span_attrs=span_attrs,
@@ -190,6 +207,17 @@ class RefinementEngine:
         cands = self.candidates(state)
         record.generations += len(cands)
         metrics.counter("engine.generations").add(len(cands))
+        round_verdicts = []
+        if self.critic is not None and cands:
+            round_verdicts = self.critic(state, cands)
+            record.critic_reviews += len(round_verdicts)
+            rejected = {i for i, v in enumerate(round_verdicts) if not v.ok}
+            record.critic_rejections += len(rejected)
+            record.critic_verdicts.append({
+                "round": state.round_no,
+                "verdicts": [v.summary() for v in round_verdicts]})
+            if self.critic_filter and rejected and len(rejected) < len(cands):
+                cands = [c for i, c in enumerate(cands) if i not in rejected]
         outcomes = self.evaluate(state, cands)
         record.tool_evaluations += len(outcomes)
         metrics.counter("engine.evaluations").add(len(outcomes))
@@ -206,6 +234,11 @@ class RefinementEngine:
                 return reason
         if self.feedback is not None:
             state.feedback = self.feedback(state, selection)
+        if any(not v.ok for v in round_verdicts):
+            from ..critic.verdict import verdicts_feedback
+            repair = verdicts_feedback(round_verdicts)
+            state.feedback = (state.feedback + "\n" + repair
+                              if state.feedback else repair)
         return None
 
 

@@ -43,6 +43,12 @@ class RunRecord:
     stop_reason: str = ""
     budget_exhausted: str = ""
     rounds: list[RoundLog] = field(default_factory=list)
+    # Critic ledger (populated only when REPRO_CRITIC=1).  The record is
+    # reached via the ``result.run_record`` instance attribute, never
+    # serialized into golden fixtures, so these stay annotation-only.
+    critic_reviews: int = 0
+    critic_rejections: int = 0
+    critic_verdicts: list[dict] = field(default_factory=list)
 
     def charge_tokens(self, tokens: int) -> None:
         self.total_tokens += tokens

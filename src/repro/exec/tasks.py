@@ -134,14 +134,21 @@ def detect_trojan_task(payload: tuple) -> Any:
     when the trojan insertion pattern does not apply to the problem.
     """
     problem, seed, cosim_vectors = payload
-    from ..flows.security import (detect_with_cec, detect_with_random_cosim,
+    from ..config import get_settings
+    from ..flows.security import (detect_with_cec, detect_with_critic,
+                                  detect_with_random_cosim,
                                   detect_with_testbench, insert_trojan)
     design = insert_trojan(problem, seed=seed)
     if design is None:
         return None
-    return {
+    cell = {
         "testbench": detect_with_testbench(problem, design).detected,
         "random_cosim": detect_with_random_cosim(
             problem, design, vectors=cosim_vectors, seed=seed).detected,
         "exhaustive_cec": detect_with_cec(problem, design).detected,
     }
+    # Workers inherit REPRO_CRITIC (fork), so the gate matches the parent:
+    # the default-config cell dict stays golden-identical.
+    if get_settings().critic_enabled:
+        cell["critic"] = detect_with_critic(problem, design).detected
+    return cell

@@ -158,6 +158,15 @@ def assertion_quality(problem: Problem,
     llm = resolve_client(model, seed=seed)
     widths, clk, reset = _interface(problem)
     assertions = generate_assertions(problem, llm, n_assertions, seed=seed)
+    from ..critic import resolve_critic
+    critic = resolve_critic("assertgen", seed=seed)
+    if critic is not None:
+        # Drop structurally bad assertions (vacuous stimulus, malformed
+        # expected literal) before spending simulator time on them; keep
+        # the original set when the critic would reject everything.
+        kept, _rejected = critic.screen_assertions(assertions)
+        if kept:
+            assertions = kept
     valid = sum(1 for a in assertions
                 if _holds(a, problem.reference, problem.module_name,
                           clk, reset) is True)

@@ -202,6 +202,12 @@ def testbench_quality(problem: Problem,
     """
     llm = resolve_client(model, seed=seed)
     tb = generate_testbench(problem, llm, seed=seed, self_correct=self_correct)
+    from ..critic import resolve_critic
+    critic = resolve_critic("autobench", seed=seed)
+    if critic is not None:
+        # Screen expectation rows whose expected literals are malformed —
+        # shape only, never the reference — before scoring the bench.
+        tb, _dropped = critic.screen_testbench(tb)
     golden_verdict = check_design(tb, problem.reference, problem.module_name)
     false_reject = not golden_verdict.passed
 

@@ -81,10 +81,14 @@ class AutoChip:
         self.jobs = jobs
 
     def run(self, problem: Problem,
-            budget: Budget | None = None) -> AutoChipResult:
+            budget: Budget | None = None, *,
+            initial_feedback: str = "") -> AutoChipResult:
         cfg = self.config
         task = make_task(problem)
-        prompt = Prompt(spec=problem.spec, strategy=cfg.strategy)
+        # ``initial_feedback`` threads prior tool findings (the agent's
+        # lint warnings on re-open) into the very first generation prompt.
+        prompt = Prompt(spec=problem.spec, strategy=cfg.strategy,
+                        feedback=initial_feedback)
         tokens_before = self.llm.usage.total_tokens
         record = RunRecord(flow="autochip", problem_id=problem.problem_id,
                            model=self.llm.profile.name)
@@ -135,13 +139,16 @@ class AutoChip:
         def next_feedback(state: RoundState, selection: Selection) -> str:
             return best["result"].feedback()
 
+        from ..critic import resolve_critic
+        critic = resolve_critic("autochip", seed=getattr(self.llm, "seed", 0))
         engine = RefinementEngine(
             candidates=candidates, evaluate=evaluate, select=select,
             annotate=annotate, stop_after=stop_after, feedback=next_feedback,
             budget=budget, record=record, max_rounds=cfg.depth,
             span_name="autochip.round",
             span_attrs=lambda state: {"round_no": state.round_no,
-                                      "k": cfg.k})
+                                      "k": cfg.k},
+            critic=critic.engine_hook() if critic else None)
         engine.run()
 
         best_tb: TestbenchResult | None = best["result"]

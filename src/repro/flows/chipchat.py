@@ -71,6 +71,9 @@ class ChipChatSession:
                            model=self.llm.profile.name)
         tokens_before = self.llm.usage.total_tokens
         st: dict = {"generation": None, "result_tb": None, "human_turns": 0}
+        from ..critic import resolve_critic
+        critic = resolve_critic("chipchat",
+                                seed=getattr(self.llm, "seed", 0))
 
         def step(state: RoundState, sp) -> str | None:
             if st["generation"] is None:
@@ -81,6 +84,18 @@ class ChipChatSession:
                 record.generations += 1
             transcript.append(ChipChatTurn(
                 "model", f"<design {len(st['generation'].text)}B>"))
+            if critic is not None:
+                # Only ever reached with REPRO_CRITIC=1, so the extra
+                # transcript turn cannot disturb default-config fixtures.
+                cv = critic.review([st["generation"].text],
+                                   problem.module_name)[0]
+                record.critic_reviews += 1
+                if not cv.ok:
+                    record.critic_rejections += 1
+                    record.critic_verdicts.append(
+                        {"round": state.round_no,
+                         "verdicts": [cv.summary()]})
+                    transcript.append(ChipChatTurn("critic", cv.feedback()))
             result_tb = evaluate_candidate(problem, st["generation"].text)
             st["result_tb"] = result_tb
             record.tool_evaluations += 1

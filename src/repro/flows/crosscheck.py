@@ -239,6 +239,8 @@ def guided_debug(problem: Problem, llm: "SimulatedLLM | LLMClient",
     record.generations += 1
     hl_model = generate_highlevel_model(problem, llm, seed=seed) \
         if use_crosscheck else None
+    from ..critic import resolve_critic
+    critic = resolve_critic("crosscheck", seed=seed)
 
     def step(state: RoundState, sp) -> str | None:
         generation: Generation = st["generation"]
@@ -259,6 +261,14 @@ def guided_debug(problem: Problem, llm: "SimulatedLLM | LLMClient",
                 feedback += "\nFAIL expected vs actual shown above"
         else:
             feedback = verdict.feedback()
+        if critic is not None:
+            cv = critic.review([generation.text], problem.module_name)[0]
+            record.critic_reviews += 1
+            if not cv.ok:
+                record.critic_rejections += 1
+                record.critic_verdicts.append(
+                    {"round": state.round_no, "verdicts": [cv.summary()]})
+                feedback += "\n" + cv.feedback()
         st["generation"] = llm.refine(task, generation, feedback,
                                       temperature, sample_index=iteration)
         record.generations += 1

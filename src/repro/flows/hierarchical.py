@@ -73,9 +73,16 @@ def run_hierarchical(problem: Problem,
         verdicts["direct"] = outcomes[1].passed
         return rank_by_score(cands, outcomes, lambda tb: float(tb.passed))
 
+    from ..critic import resolve_critic
+    critic = resolve_critic("hierarchical", seed=seed)
+    # Annotate-only (critic_filter=False): the selector compares the
+    # hierarchical and direct arms positionally, so candidates must
+    # never be dropped — verdicts are still recorded on the run record.
     RefinementEngine(candidates=candidates, evaluate=evaluate,
                      select=select, record=record, budget=budget,
-                     max_rounds=1, span_name="hierarchical.round").run()
+                     max_rounds=1, span_name="hierarchical.round",
+                     critic=critic.engine_hook() if critic else None,
+                     critic_filter=False).run()
 
     record.charge_tokens(llm.usage.total_tokens - tokens_before)
     result = HierarchicalResult(

@@ -139,6 +139,21 @@ def detect_with_random_cosim(problem: Problem, design: CompromisedDesign,
                            vectors)
 
 
+def detect_with_critic(problem: Problem,
+                       design: CompromisedDesign) -> DetectionReport:
+    """Structural critic scan: flags the rare-trigger corruption mux.
+
+    Unlike the simulation detectors this needs no vectors at all — the
+    critic's trojan rule matches the mux shape directly in the AST — so
+    its effort is one static pass.
+    """
+    from ..critic.rules import validate_rtl
+    verdict = validate_rtl(design.source, problem.module_name)
+    detected = "trojan" in verdict.labels()
+    return DetectionReport(problem.problem_id, "critic", detected, 1,
+                           "structural rule scan")
+
+
 def detect_with_cec(problem: Problem,
                     design: CompromisedDesign) -> DetectionReport:
     """Formal equivalence against the reference netlist (sound)."""
@@ -173,6 +188,11 @@ def detection_sweep(problems: list[Problem], cosim_vectors: int = 64, *,
     cells = SweepScheduler(jobs).map(detect_trojan_task, payloads)
     caught: dict[str, int] = {"testbench": 0, "random_cosim": 0,
                               "exhaustive_cec": 0}
+    # The critic detector joins the sweep only when enabled, so the
+    # default-config result dict (golden-serialized) is unchanged.
+    from ..config import get_settings
+    if get_settings().critic_enabled:
+        caught["critic"] = 0
     total = 0
     for cell in cells:
         if cell is None:
@@ -180,7 +200,7 @@ def detection_sweep(problems: list[Problem], cosim_vectors: int = 64, *,
         total += 1
         for detector, detected in cell.items():
             if detected:
-                caught[detector] += 1
+                caught[detector] = caught.get(detector, 0) + 1
     if total == 0:
         return {k: 0.0 for k in caught}
     return {k: v / total for k, v in caught.items()}

@@ -81,6 +81,8 @@ class StructuredFeedbackFlow:
         tokens_before = self.llm.usage.total_tokens
         record = RunRecord(flow="structured", problem_id=problem.problem_id,
                            model=self.llm.profile.name)
+        from ..critic import resolve_critic
+        critic = resolve_critic("structured", seed=seed)
         st = {
             "generation": self.llm.generate(task, prompt, self.temperature,
                                             sample_index=seed),
@@ -134,6 +136,16 @@ class StructuredFeedbackFlow:
             else:
                 feedback = (f"simulation: {verdict.failures} of "
                             f"{verdict.checks} checks FAIL")
+            if critic is not None:
+                cv = critic.review([st["generation"].text],
+                                   problem.module_name)[0]
+                record.critic_reviews += 1
+                if not cv.ok:
+                    record.critic_rejections += 1
+                    record.critic_verdicts.append(
+                        {"round": state.round_no,
+                         "verdicts": [cv.summary()]})
+                    feedback += "\n" + cv.feedback()
             st["generation"] = self.llm.refine(task, st["generation"],
                                                feedback, self.temperature,
                                                sample_index=st[

@@ -153,9 +153,12 @@ def vrank(problem: Problem,
             best_score=float(result.selected_passed),
             scores=[float(p) for p in passes])
 
+    from ..critic import resolve_critic
+    critic = resolve_critic("vrank", seed=seed)
     RefinementEngine(candidates=candidates, evaluate=evaluate, select=select,
                      record=record, budget=budget, max_rounds=1,
-                     span_name="vrank.round").run()
+                     span_name="vrank.round",
+                     critic=critic.engine_hook() if critic else None).run()
     record.charge_tokens(llm.usage.total_tokens - tokens_before)
     result.run_record = record
     return result

@@ -1,4 +1,4 @@
-"""Differential oracles: six independent ways a fuzz case can disagree.
+"""Differential oracles: seven independent ways a fuzz case can disagree.
 
 Each oracle compares two implementations that the repo *claims* are
 equivalent (the PR 1–3 equivalence stories plus the core sim-vs-synth
@@ -11,6 +11,7 @@ with ``ok=False`` is a finding worth shrinking.
 (d) ``service``   — broker-mediated client vs direct ``SimulatedLLM``
 (e) ``roundtrip`` — parse → unparse → reparse is a structural fixpoint
 (f) ``compiled``  — compiled straight-line engine vs the event engine
+(g) ``critic``    — trojan-mutated DUTs must be flagged by the critic
 """
 
 from __future__ import annotations
@@ -254,6 +255,84 @@ def oracle_compiled(case: FuzzCase) -> OracleReport:
     return OracleReport("compiled", ok=True)
 
 
+def oracle_critic(case: FuzzCase) -> OracleReport:
+    """A trojan-mutated DUT must be flagged by the critic's rule stage.
+
+    The mutation mirrors :func:`repro.flows.security.insert_trojan`:
+    redirect one combinational output through a rare-trigger corruption
+    mux keyed on a multi-bit input.  The critic (`critic-flag` oracle)
+    must label the mutant ``trojan``; a mutant the rules wave through is
+    a finding.  Cases without an eligible port pair — or whose random
+    logic already trips the trojan rule — are skips, not findings.
+    """
+    import re
+
+    from ..critic.rules import validate_rtl
+    from ..hdl.lint import _decl_widths
+    from ..llm.model import _stable_seed
+
+    if case.sequential:
+        return OracleReport("critic", ok=True, skipped=True,
+                            detail="sequential DUT: insertion pattern "
+                                   "is combinational-only")
+    try:
+        source = parse(case.dut_source)
+    except HdlError as exc:
+        return OracleReport("critic", ok=True, skipped=True,
+                            detail=f"DUT does not parse: {exc}")
+    module = source.modules.get(case.dut_name)
+    if module is None:
+        return OracleReport("critic", ok=True, skipped=True,
+                            detail=f"no module '{case.dut_name}'")
+    widths = _decl_widths(module)
+    triggers = sorted(p.name for p in module.ports
+                      if p.direction == "input"
+                      and widths.get(p.name, 1) >= 4)
+    victims = sorted(p.name for p in module.ports
+                     if p.direction == "output" and not p.is_reg)
+    if not triggers or not victims:
+        return OracleReport("critic", ok=True, skipped=True,
+                            detail="no eligible trigger/victim port pair")
+    if "trojan" in validate_rtl(case.dut_source).labels():
+        return OracleReport("critic", ok=True, skipped=True,
+                            detail="generated logic already matches the "
+                                   "trojan shape")
+    trigger, victim = triggers[0], victims[0]
+    width = widths[trigger]
+    value = _stable_seed(case.campaign_seed, case.index, "critic") \
+        % (1 << width)
+    shadow = f"{victim}_pre"
+    mutant = re.sub(rf"\b{victim}\b", shadow, case.dut_source)
+    mutant = re.sub(rf"\b{shadow}\b(?=\s*[,)])", victim, mutant, count=1)
+    victim_width = widths.get(victim, 1)
+    if victim_width > 1:
+        shadow_decl = f"  wire [{victim_width - 1}:0] {shadow};"
+        payload = f"({shadow} ^ 1)"
+    else:
+        shadow_decl = f"  wire {shadow};"
+        payload = f"(~{shadow})"
+    trojan_logic = (f"{shadow_decl}\n"
+                    f"  assign {victim} = ({trigger} == {width}'d{value}) "
+                    f"? {payload} : {shadow};\n")
+    # The DUT is the last module in the source (leaf modules precede it
+    # on hierarchical cases), so splice before the *last* endmodule.
+    head, sep, tail = mutant.rpartition("endmodule")
+    mutant = head + trojan_logic + sep + tail
+    try:
+        parse(mutant)
+    except HdlError as exc:
+        return OracleReport("critic", ok=True, skipped=True,
+                            detail=f"mutant does not parse: {exc}")
+    verdict = validate_rtl(mutant, case.dut_name)
+    if "trojan" not in verdict.labels():
+        return OracleReport(
+            "critic", ok=False, kind="critic-missed-trojan",
+            detail=f"mutant corrupts '{victim}' on {trigger}=="
+                   f"{width}'d{value} but critic labels are "
+                   f"{list(verdict.labels())}")
+    return OracleReport("critic", ok=True)
+
+
 ORACLES: dict[str, object] = {
     "synth": oracle_synth,
     "cache": oracle_cache,
@@ -261,6 +340,7 @@ ORACLES: dict[str, object] = {
     "service": oracle_service,
     "roundtrip": oracle_roundtrip,
     "compiled": oracle_compiled,
+    "critic": oracle_critic,
 }
 
 

@@ -81,6 +81,37 @@ def _expr_width(expr: A.Expr, widths: dict[str, int]) -> int | None:
     return None
 
 
+def module_reads_writes(module: A.Module) -> tuple[set[str], set[str]]:
+    """All identifiers read and written anywhere in ``module``.
+
+    Instance connections count as both: a connected identifier may be an
+    output binding (a write into this scope).  Shared by the linter and
+    the critic's X-propagation rule.
+    """
+    reads: set[str] = set()
+    writes: set[str] = set()
+    for ca in module.assigns:
+        _expr_reads(ca.expr, reads)
+        writes.add(ca.target.name)
+    for alw in module.always_blocks:
+        _stmt_reads(alw.body, reads)
+        stmt_writes(alw.body, writes)
+        for _, sig in alw.edges:
+            reads.add(sig)
+    for ini in module.initial_blocks:
+        _stmt_reads(ini.body, reads)
+        stmt_writes(ini.body, writes)
+    for inst in module.instances:
+        for _, expr in inst.connections:
+            if expr is not None:
+                _expr_reads(expr, reads)
+                if isinstance(expr, A.Identifier):
+                    writes.add(expr.name)  # may be an output connection
+    for func in module.functions:
+        _stmt_reads(func.body, reads)
+    return reads, writes
+
+
 class Linter:
     """Runs all checks on a single module."""
 
@@ -111,28 +142,7 @@ class Linter:
         return names
 
     def _all_reads_writes(self) -> tuple[set[str], set[str]]:
-        reads: set[str] = set()
-        writes: set[str] = set()
-        for ca in self.module.assigns:
-            _expr_reads(ca.expr, reads)
-            writes.add(ca.target.name)
-        for alw in self.module.always_blocks:
-            _stmt_reads(alw.body, reads)
-            stmt_writes(alw.body, writes)
-            for _, sig in alw.edges:
-                reads.add(sig)
-        for ini in self.module.initial_blocks:
-            _stmt_reads(ini.body, reads)
-            stmt_writes(ini.body, writes)
-        for inst in self.module.instances:
-            for _, expr in inst.connections:
-                if expr is not None:
-                    _expr_reads(expr, reads)
-                    if isinstance(expr, A.Identifier):
-                        writes.add(expr.name)  # may be an output connection
-        for func in self.module.functions:
-            _stmt_reads(func.body, reads)
-        return reads, writes
+        return module_reads_writes(self.module)
 
     def _check_undeclared(self) -> None:
         declared = self._declared_names()

@@ -138,6 +138,27 @@ def service_table(records: Iterable[dict]) -> str:
     return format_table(["service metric", "kind", "value"], rows)
 
 
+def critic_table(records: Iterable[dict]) -> str:
+    """Critic verdict breakdown from ``critic.*`` metrics.
+
+    One row per counter: candidates reviewed, rejections, judge calls,
+    and per-taxonomy flag counts (``critic.flag.<label>``) from the last
+    metrics snapshot.  Returns ``""`` when the run never ran the critic.
+    """
+    snapshots = [r for r in _coerce_records(records)
+                 if r.get("type") == "metrics"]
+    if not snapshots:
+        return ""
+    snap = snapshots[-1]
+    rows: list[list[object]] = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        if name.startswith("critic."):
+            rows.append([name, "counter", value])
+    if not rows:
+        return ""
+    return format_table(["critic metric", "kind", "value"], rows)
+
+
 def store_table(records: Iterable[dict]) -> str:
     """Artifact-store breakdown from ``store.*`` gauges and counters.
 
@@ -183,6 +204,10 @@ def render(source) -> str:
     if service:
         lines.append("")
         lines.append(service)
+    critic = critic_table(records)
+    if critic:
+        lines.append("")
+        lines.append(critic)
     store = store_table(records)
     if store:
         lines.append("")

@@ -1,0 +1,11 @@
+// critic corpus: taxonomy=dead-reset rule=dead-reset
+// A status register that is cleared on reset and then never written
+// again — the model forgot the else branch, so the design "works" only
+// while held in reset.  Label: `dead-reset`.
+module sticky_flag(input wire clk, input wire rst, input wire event_seen,
+                   output reg flag);
+  always @(posedge clk or posedge rst) begin
+    if (rst)
+      flag <= 1'b0;
+  end
+endmodule

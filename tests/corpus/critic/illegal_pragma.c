@@ -1,0 +1,14 @@
+// critic corpus: taxonomy=pragma rule=illegal-pragma
+// HLS kernel using a vendor-specific latency pragma that is outside the
+// synthesizable subset this repo's HLS flow accepts (pipeline / unroll /
+// array_partition / inline / dataflow / interface / loop_tripcount).
+// The critic must reject with label `pragma`.
+int accumulate(int data[64]) {
+  int acc = 0;
+  for (int i = 0; i < 64; i++) {
+#pragma HLS occurrence cycle=4
+#pragma HLS pipeline II=1
+    acc += data[i];
+  }
+  return acc;
+}

@@ -1,0 +1,8 @@
+// critic corpus: taxonomy=lint rule=LINT-MULTIDRIVE
+// Two continuous assigns fight over the same output — an LLM merge of
+// two partial answers.  Elaborates, but the bus contention is a hard
+// error on any real tool.  Label: `lint`.
+module mux2(input wire sel, input wire a, input wire b, output wire y);
+  assign y = sel ? a : b;
+  assign y = a & b;
+endmodule

@@ -1,0 +1,9 @@
+// critic corpus: taxonomy=syntax rule=parse
+// A generation cut off mid-statement by a token limit — the most common
+// hard failure in sampled candidates.  Label: `syntax`.
+module counter4(input wire clk, input wire rst, output reg [3:0] count);
+  always @(posedge clk) begin
+    if (rst)
+      count <= 4'd0;
+    else
+      count <= count +

@@ -1,0 +1,8 @@
+// critic corpus: taxonomy=width rule=ternary-width
+// A plausible byte-lane selector whose fallback arm is half the width of
+// the selected lane — silently zero-extended in simulation, a synthesis
+// surprise on real tools.  The critic must reject it with label `width`.
+module lane_select(input wire sel, input wire [7:0] lane_a,
+                   output wire [7:0] dout);
+  assign dout = sel ? lane_a : 4'hF;
+endmodule

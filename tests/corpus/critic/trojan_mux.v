@@ -1,0 +1,11 @@
+// critic corpus: taxonomy=trojan rule=rare-trigger-mux
+// The repro.flows.security insertion shape: a checksum unit whose output
+// is silently flipped when the data bus hits one magic 8-bit value.
+// Directed testbenches are blind to the trigger; the critic's structural
+// rule must reject with label `trojan`.
+module checksum8(input wire [7:0] din, input wire [7:0] key,
+                 output wire [7:0] csum);
+  wire [7:0] csum_pre;
+  assign csum_pre = din ^ key;
+  assign csum = (din == 8'd173) ? (csum_pre ^ 1) : csum_pre;
+endmodule

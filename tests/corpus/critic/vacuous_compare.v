@@ -1,0 +1,7 @@
+// critic corpus: taxonomy=vacuity rule=self-compare
+// A "parity check" that compares the data bus against itself — the flag
+// is constant 1 and the check can never fire.  A classic LLM slip when
+// the spec says "compare data against expected".  Label: `vacuity`.
+module parity_ok(input wire [7:0] data, output wire ok);
+  assign ok = (data == data);
+endmodule

@@ -1,0 +1,9 @@
+// critic corpus: taxonomy=xprop rule=undriven-read
+// A masked adder that reads an enable net nobody ever drives: every
+// simulation cycle the mask is X and the sum is poisoned.  Looks fine to
+// a quick read (the net is declared); the critic must reject with `xprop`.
+module masked_add(input wire [3:0] a, input wire [3:0] b,
+                  output wire [3:0] sum);
+  wire [3:0] mask;
+  assign sum = (a + b) & mask;
+endmodule

@@ -1,0 +1,86 @@
+"""Bridge: the adversarial critic corpus drives the rule validators.
+
+Each file under ``tests/corpus/critic/`` is a hand-written
+plausible-but-invalid candidate labeled with the taxonomy the critic
+must assign (``taxonomy=<label>`` in the header comment).  The suite is
+the calibration contract from the issue: zero false-accepts on the
+labeled corpus, zero false-rejects on the golden references.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.bench.problems import all_problems
+from repro.critic import ALL_TAXONOMIES, validate_pragmas, validate_rtl
+
+CORPUS_DIR = Path(__file__).parent / "corpus" / "critic"
+_META = re.compile(r"taxonomy=([a-z-]+)\s+rule=(\S+)")
+
+
+def _corpus_entries() -> list[tuple[str, str, str, str]]:
+    entries = []
+    for path in sorted(CORPUS_DIR.iterdir()):
+        text = path.read_text()
+        meta = _META.search(text)
+        assert meta, f"{path.name}: missing 'taxonomy=... rule=...' header"
+        entries.append((path.name, meta.group(1), meta.group(2), text))
+    return entries
+
+
+ENTRIES = _corpus_entries()
+
+
+class TestCorpusShape:
+    def test_corpus_is_seeded(self):
+        assert len(ENTRIES) >= 6
+
+    def test_labels_are_known_taxonomies(self):
+        for name, taxonomy, _rule, _text in ENTRIES:
+            assert taxonomy in ALL_TAXONOMIES, (name, taxonomy)
+
+    def test_required_failure_classes_covered(self):
+        covered = {taxonomy for _, taxonomy, _, _ in ENTRIES}
+        assert {"width", "xprop", "pragma", "vacuity",
+                "dead-reset", "trojan"} <= covered
+
+
+class TestRuleValidatorsFlagCorpus:
+    @pytest.mark.parametrize(
+        "name,taxonomy,rule,text",
+        ENTRIES, ids=[e[0] for e in ENTRIES])
+    def test_flagged_with_expected_taxonomy(self, name, taxonomy, rule, text):
+        if name.endswith(".c"):
+            verdict = validate_pragmas(text)
+        else:
+            verdict = validate_rtl(text)
+        assert not verdict.ok, f"{name}: critic accepted a bad candidate"
+        assert taxonomy in verdict.labels(), \
+            f"{name}: expected label '{taxonomy}', got {verdict.labels()}"
+
+    def test_false_accept_rate_is_zero(self):
+        accepted = [name for name, taxonomy, _rule, text in ENTRIES
+                    if (validate_pragmas(text) if name.endswith(".c")
+                        else validate_rtl(text)).ok]
+        assert accepted == []
+
+
+class TestCalibrationOnReferences:
+    def test_zero_false_rejects_on_golden_references(self):
+        rejected = [(p.problem_id,
+                     [str(f) for f in validate_rtl(p.reference).failures])
+                    for p in all_problems()
+                    if not validate_rtl(p.reference).ok]
+        assert rejected == []
+
+    def test_rule_details_name_the_rule(self):
+        for name, _taxonomy, rule, text in ENTRIES:
+            if name.endswith(".c"):
+                verdict = validate_pragmas(text)
+            else:
+                verdict = validate_rtl(text)
+            assert any(f.rule == rule for f in verdict.failures), \
+                (name, rule, [f.rule for f in verdict.failures])

@@ -244,3 +244,46 @@ def test_golden_brokered(name, mode, monkeypatch):
     want = json.loads(path.read_text())
     got = _run_mode(name, mode, monkeypatch)
     assert got == want
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_critic_off_replay(name, monkeypatch):
+    """Explicit ``REPRO_CRITIC=0`` replays every fixture byte-identical.
+
+    This is the critic's byte-identity acceptance gate: with the knob
+    off (explicitly, not just unset) ``resolve_critic`` returns ``None``
+    and every flow must take exactly its pre-critic code path.
+    """
+    if REGEN:
+        pytest.skip("fixtures regenerate from the direct path only")
+    path = _fixture_path(name)
+    assert path.exists()
+    monkeypatch.setenv("REPRO_CRITIC", "0")
+    want = json.loads(path.read_text())
+    got = _run_mode(name, "direct", monkeypatch)
+    assert got == want
+
+
+def test_critic_annotates_without_changing_selection(monkeypatch):
+    """All-accepted reviews: public result identical, record annotated.
+
+    A strong model on an easy problem produces only rule-clean
+    candidates, so the critic rejects nothing — selection, scores and
+    the public result dataclass must match the critic-off run exactly,
+    while the (non-serialized) run record carries the verdicts.
+    """
+    from repro.flows.autochip import run_autochip
+
+    monkeypatch.setenv("REPRO_CRITIC", "0")
+    off = run_autochip(get_problem("c1_mux2"), "gpt-4o", k=2, depth=1,
+                       seed=0)
+    monkeypatch.setenv("REPRO_CRITIC", "1")
+    on = run_autochip(get_problem("c1_mux2"), "gpt-4o", k=2, depth=1,
+                      seed=0)
+    assert _plain(on) == _plain(off)
+    assert on.run_record.critic_reviews == on.run_record.generations
+    assert on.run_record.critic_rejections == 0
+    assert on.run_record.critic_verdicts
+    assert all(v["ok"] for entry in on.run_record.critic_verdicts
+               for v in entry["verdicts"])
+    assert off.run_record.critic_verdicts == []

@@ -139,3 +139,69 @@ def test_aig_cleanup_preserves_outputs(seed):
     cleaned = aig.cleanup()
     assert check_aigs(aig, cleaned).equivalent
     assert cleaned.num_ands <= aig.num_ands
+
+
+# --------------------------------------------------------------------------
+# Critic verdicts: pure functions of (candidate, seed) in every mode
+# --------------------------------------------------------------------------
+
+
+def _candidate_text(seed: int) -> str:
+    """A random module, sometimes corrupted the way bad candidates are."""
+    rng = random.Random(seed)
+    src = _random_module(seed)
+    roll = rng.random()
+    if roll < 0.25:
+        src = src.replace("assign y =", "assign y = 8'bx +", 1)
+    elif roll < 0.45:
+        src = src[: len(src) * 2 // 3]          # token-limit truncation
+    elif roll < 0.6:
+        src = src.replace("4'd", "4'h", 1) + "// 4'h3_wrong\n"
+    return src
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_critic_verdict_is_pure_function_of_candidate_and_seed(seed):
+    from repro.critic import Critic, JudgeClient
+
+    text = _candidate_text(seed)
+    first = Critic(flow="prop", seed=seed,
+                   judge=JudgeClient(seed=seed)).review_source(text)
+    again = Critic(flow="prop", seed=seed,
+                   judge=JudgeClient(seed=seed)).review_source(text)
+    assert first == again
+    # Batch review order cannot change any verdict.
+    other = _candidate_text(seed + 1)
+    critic = Critic(flow="prop", seed=seed, judge=JudgeClient(seed=seed))
+    assert critic.review([text, other]) == \
+        list(reversed(critic.review([other, text])))
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_critic_verdicts_match_across_direct_service_parallel(seed):
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.critic import Critic, JudgeClient
+    from repro.service.broker import ModelBroker
+
+    texts = [_candidate_text(seed + k) for k in range(4)]
+    direct = Critic(flow="prop", seed=seed,
+                    judge=JudgeClient(seed=seed)).review(texts)
+
+    broker = ModelBroker()
+    try:
+        brokered_critic = Critic(flow="prop", seed=seed,
+                                 judge=JudgeClient(seed=seed,
+                                                   broker=broker))
+        brokered = brokered_critic.review(texts)
+    finally:
+        broker.shutdown()
+
+    parallel_critic = Critic(flow="prop", seed=seed,
+                             judge=JudgeClient(seed=seed))
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        parallel = list(pool.map(parallel_critic.review_source, texts))
+
+    assert direct == brokered == parallel
