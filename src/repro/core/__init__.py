@@ -7,6 +7,9 @@ refinement over one shared multi-modal design state.
 
 from .agent import (AgentConfig, AgentRunReport, AgentSweep, EdaAgent,
                     run_agent_sweep)
+from .planner import PlannerAgent, PlannerRunReport, PlanStep
+from .policy import (PlanAction, PlannerClient, SimulatedPlanner,
+                     parse_action, render_action, resolve_planner)
 from .report import agent_report_text, format_table, sweep_report_text
 from .stages import (DEFAULT_PIPELINE, QorStage, RtlGenerationStage,
                      SpecificationStage, Stage, StageContext,
@@ -15,9 +18,11 @@ from .state import DesignState, StageRecord
 
 __all__ = [
     "AgentConfig", "AgentRunReport", "AgentSweep", "DEFAULT_PIPELINE",
-    "DesignState", "EdaAgent", "QorStage", "RtlGenerationStage",
-    "SpecificationStage", "Stage", "StageContext", "StageRecord",
-    "StaticAnalysisStage", "SynthesisStage", "VerificationStage",
-    "agent_report_text", "format_table", "run_agent_sweep",
+    "DesignState", "EdaAgent", "PlanAction", "PlanStep", "PlannerAgent",
+    "PlannerClient", "PlannerRunReport", "QorStage", "RtlGenerationStage",
+    "SimulatedPlanner", "SpecificationStage", "Stage", "StageContext",
+    "StageRecord", "StaticAnalysisStage", "SynthesisStage",
+    "VerificationStage", "agent_report_text", "format_table", "parse_action",
+    "render_action", "resolve_planner", "run_agent_sweep",
     "sweep_report_text",
 ]

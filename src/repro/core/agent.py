@@ -60,6 +60,12 @@ class EdaAgent:
     def run(self, problem: Problem,
             budget: Budget | None = None) -> AgentRunReport:
         cfg = self.config
+        # REPRO_AGENT_PLANNER=1 swaps the fixed stage tuple for the
+        # plan/act/observe loop; off (the default) this method is exactly
+        # the pre-planner code path, so golden fixtures replay unchanged.
+        from ..config import get_settings
+        if get_settings().agent_planner_enabled:
+            return self._run_planned(problem, budget)
         llm = resolve_client(cfg.model, seed=self.seed)
         ctx = StageContext(llm=llm, problem=problem, seed=self.seed,
                            enable_feedback=cfg.enable_feedback,
@@ -126,6 +132,25 @@ class EdaAgent:
                                 reopens=reopens,
                                 total_tokens=llm.usage.total_tokens)
         report.run_record = record
+        return report
+
+    def _run_planned(self, problem: Problem,
+                     budget: Budget | None = None) -> AgentRunReport:
+        """Compatibility view: the planner's transcript rendered as an
+        :class:`AgentRunReport` (same surface the reports module reads)."""
+        from .planner import PlannerAgent
+
+        goal = ("design, verify and synthesize the module, then report "
+                "its PPA")
+        planner = PlannerAgent(self.config.model, seed=self.seed)
+        result = planner.run(goal, problem, budget=budget)
+        report = AgentRunReport(result.problem_id, result.model,
+                                result.state,
+                                result.success and result.state.verified,
+                                reopens=0,
+                                total_tokens=result.total_tokens)
+        report.run_record = result.run_record
+        report.plan = result
         return report
 
 

@@ -1,0 +1,311 @@
+"""The planner agent: a plan/act/observe loop over the typed tool registry.
+
+This is the ChatEDA shape (PAPERS.md) the paper's agent half describes —
+an LLM planner decomposing a natural-language goal into EDA tool
+invocations — replacing the fixed ``DEFAULT_PIPELINE`` stage tuple with
+planned tool calls:
+
+1. **ground** — rank the registered tools against the goal plus the most
+   recent observation via the RAG tool-doc index, gate on each tool's
+   declared state preconditions, and render the shortlist (with its
+   citations) into the planning prompt;
+2. **plan** — the seeded planner head (:mod:`repro.core.policy`, riding
+   the broker seam under ``REPRO_SERVICE=1``) emits one structured
+   next-action;
+3. **act** — the :class:`~repro.engine.LoopKernel` round invokes the tool
+   through the registry's validation seam;
+4. **observe** — the outcome text (or the validation error, for malformed
+   or premature actions) is folded into the transcript the next round's
+   grounding query and prompt read.  Critic rejection verdicts land in
+   ``DesignState.critic_verdicts`` and thread into regeneration feedback.
+
+Determinism: grounding is TF-IDF over fixed text, the planner head is a
+pure function of (prompt, seed, profile), and every tool honours the
+registry's purity contract — so a whole planner run is a pure function of
+(goal, problem, model, seed), byte-identical across ``REPRO_SERVICE=0/1``
+and scheduler fan-out (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..bench.problems import Problem
+from ..config import get_settings
+from ..engine import Budget, LoopKernel, RoundState, RunRecord
+from ..llm.model import SimulatedLLM
+from ..obs import flush_metrics, get_tracer
+from ..service import LLMClient, resolve_client
+from ..tools import (ToolContext, ToolError, build_tool_index, get_tool,
+                     list_tools)
+from .policy import parse_action, render_candidate, resolve_planner
+from .state import DesignState
+
+#: Tools that are sensible to repeat even after they once succeeded
+#: (reports and checks re-measure; generation/tuning change state).
+_REPEATABLE = ("run_testbench", "ppa_report", "lint_rtl", "compile_rtl",
+               "doc_lookup", "critic_review", "fuzz_spot_check", "finish")
+
+_OBS_TAIL = 3          # observations rendered into the planning prompt
+_SHORTLIST = 4         # candidates offered per round
+
+
+def _tokens(text: str) -> int:
+    """The 4-chars-per-token approximation every simulated flow uses."""
+    return max(1, len(text) // 4)
+
+
+@dataclass
+class PlanStep:
+    """One plan/act/observe round in the transcript."""
+
+    round_no: int
+    tool: str
+    args: dict
+    ok: bool
+    observation: str
+    citations: tuple[str, ...] = ()
+    rationale: str = ""
+    malformed: bool = False
+
+    def line(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        return f"[{self.round_no}] {self.tool or '<malformed>'}: {status}"
+
+
+@dataclass
+class PlannerRunReport:
+    """Outcome of one planner-agent run."""
+
+    goal: str
+    problem_id: str
+    model: str
+    state: DesignState
+    success: bool
+    steps: list[PlanStep] = field(default_factory=list)
+    stop_reason: str = ""
+    total_tokens: int = field(default=0, kw_only=True)
+
+    @property
+    def tool_sequence(self) -> list[str]:
+        return [s.tool for s in self.steps if s.tool and not s.malformed]
+
+    def transcript(self) -> str:
+        return "\n".join(f"{s.line()} {s.observation}" for s in self.steps)
+
+    def summary(self) -> str:
+        status = "PASS" if self.success else "FAIL"
+        return (f"{self.problem_id or self.goal[:40]} [{self.model}] "
+                f"{status} in {len(self.steps)} step(s): "
+                f"{' -> '.join(self.tool_sequence) or '-'}")
+
+
+class PlannerAgent:
+    """Plan/act/observe over the tool registry (see module docstring).
+
+    ``goal_check(ctx) -> bool`` decides success (and gates the ``finish``
+    candidate); without one, a verified design counts as done.
+    """
+
+    def __init__(self, model: str | SimulatedLLM | LLMClient = "gpt-4o",
+                 seed: int = 0, max_steps: int | None = None,
+                 goal_check: Callable[[ToolContext], bool] | None = None):
+        self.model = model
+        self.seed = seed
+        self.max_steps = max_steps
+        self.goal_check = goal_check
+
+    # -- grounding ------------------------------------------------------------
+
+    def _satisfied(self, ctx: ToolContext) -> bool:
+        if self.goal_check is not None:
+            return bool(self.goal_check(ctx))
+        return ctx.state.verified
+
+    def _feedback_text(self, ctx: ToolContext) -> str:
+        """Accumulated findings regeneration should condition on."""
+        parts = list(ctx.state.lint_warnings[:6])
+        parts += ctx.state.critic_verdicts[:6]
+        if ctx.state.verification_detail and not ctx.state.verified:
+            parts.append(ctx.state.verification_detail)
+        return "\n".join(parts)
+
+    def _candidate_args(self, ctx: ToolContext, tool: str,
+                        goal: str, last_obs: str) -> dict:
+        if tool == "generate_rtl":
+            feedback = self._feedback_text(ctx)
+            return {"feedback": feedback} if feedback else {}
+        if tool == "doc_lookup":
+            # Lead with the diagnostic code from the last observation, the
+            # way a user pastes a tool error into the QA box.
+            for token in last_obs.replace(";", " ").replace(":", " ").split():
+                if token.startswith(("LINT-", "HLS0")):
+                    return {"question": f"what does {token} mean"}
+            return {"question": goal}
+        return {}
+
+    def _shortlist(self, ctx: ToolContext, goal: str,
+                   steps: list[PlanStep], tool_index) -> list[tuple]:
+        """Ranked, precondition-gated (tool, args, citations) candidates.
+
+        Retrieval relevance is the base score; deterministic progress
+        priors (what modalities exist, what the goal still lacks) keep
+        the shortlist honest when TF-IDF alone is ambiguous.
+        """
+        state = ctx.state
+        last_obs = steps[-1].observation if steps else ""
+        last_tool = steps[-1].tool if steps else ""
+        goal_l = goal.lower()
+        done = self._satisfied(ctx)
+        succeeded = {s.tool for s in steps if s.ok and not s.malformed}
+
+        ranked = tool_index.rank(goal + " " + last_obs)
+        scored = []
+        for g in ranked:
+            spec = get_tool(g.tool)
+            if spec.missing_state(ctx):
+                continue
+            if g.tool in succeeded and g.tool not in _REPEATABLE:
+                # Re-running a successful mutator is allowed only when the
+                # evidence says its product went stale (failed verify).
+                if not (g.tool == "generate_rtl" and not state.verified):
+                    continue
+            score = g.score
+            if g.tool == "finish":
+                score += 2.0 if done else -2.0
+            if done and g.tool != "finish":
+                score -= 0.5
+            if g.tool == "generate_rtl" and not state.rtl_source:
+                score += 1.0
+            if g.tool == "hls_repair" and ctx.c_source:
+                score += 0.8
+            if g.tool == "run_testbench" and state.rtl_source \
+                    and not state.verified:
+                score += 0.45
+            if g.tool == "synthesize" and state.rtl_source \
+                    and state.netlist is None \
+                    and any(w in goal_l for w in ("synth", "ppa", "area",
+                                                  "delay", "netlist")):
+                score += 0.6
+            if g.tool == "ppa_report" and state.netlist is not None \
+                    and state.ppa is None:
+                score += 0.6
+            if g.tool == "tune_synthesis" and state.ppa is not None \
+                    and not ctx.scratch.get("tuned") \
+                    and any(w in goal_l for w in ("fix", "improve", "slow",
+                                                  "optimi", "tune")):
+                score += 0.8
+            if g.tool == "ppa_report" and ctx.scratch.get("tuned") \
+                    and last_tool == "tune_synthesis":
+                score += 1.0
+            if g.tool == "crosscheck" \
+                    and any(w in goal_l for w in ("disagree", "diverge",
+                                                  "c model", "mismatch")):
+                score += 0.8
+            if g.tool == "doc_lookup" \
+                    and ("LINT-" in last_obs or "HLS0" in last_obs):
+                score += 0.5
+            if g.tool == last_tool and not (steps and steps[-1].ok):
+                score -= 0.3   # don't hammer a tool that just failed
+            scored.append((score, g.tool, g.citations))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [(tool, self._candidate_args(ctx, tool, goal, last_obs), cites)
+                for _, tool, cites in scored[:_SHORTLIST]]
+
+    def _prompt(self, goal: str, ctx: ToolContext, steps: list[PlanStep],
+                shortlist: list[tuple]) -> str:
+        lines = [f"GOAL: {goal}",
+                 "STATE: " + ",".join(ctx.state.modalities_present())
+                 + (",verified" if ctx.state.verified else "")]
+        for step in steps[-_OBS_TAIL:]:
+            lines.append(f"OBSERVATION {step.round_no}: "
+                         f"{step.line()} {step.observation[:200]}")
+        lines.append("Choose the next action from the grounded candidates:")
+        for rank, (tool, args, citations) in enumerate(shortlist, start=1):
+            lines.append(render_candidate(rank, tool, args, citations,
+                                          get_tool(tool).summary))
+        return "\n".join(lines)
+
+    # -- the loop -------------------------------------------------------------
+
+    def run(self, goal: str, problem: Problem | None = None, *,
+            c_source: str = "", c_top: str = "",
+            budget: Budget | None = None) -> PlannerRunReport:
+        llm = resolve_client(self.model, seed=self.seed)
+        planner = resolve_planner(llm.profile, seed=self.seed)
+        state = DesignState(spec=problem.spec if problem else goal)
+        state.module_name = problem.module_name if problem else ""
+        ctx = ToolContext(llm=llm, seed=self.seed, problem=problem,
+                          state=state, c_source=c_source, c_top=c_top)
+        tool_index = build_tool_index(
+            list_tools(), spec_text=goal + " " + (problem.spec
+                                                  if problem else ""))
+        max_steps = self.max_steps if self.max_steps is not None \
+            else get_settings().agent_max_steps
+        record = RunRecord(flow="planner",
+                           problem_id=problem.problem_id if problem else "",
+                           model=llm.profile.name)
+        steps: list[PlanStep] = []
+        tokens_before = llm.usage.total_tokens
+        charged = {"tokens": tokens_before}
+
+        tracer = get_tracer()
+        with tracer.span("planner.run", goal=goal[:60],
+                         problem=record.problem_id, model=record.model,
+                         seed=self.seed) as run_span:
+
+            def step(kstate: RoundState, _sp) -> str | None:
+                shortlist = self._shortlist(ctx, goal, steps, tool_index)
+                prompt = self._prompt(goal, ctx, steps, shortlist)
+                with tracer.span("planner.plan", round=kstate.round_no):
+                    completion = planner.plan(prompt)
+                llm.usage.record(_tokens(prompt), _tokens(completion))
+                action = parse_action(completion)
+                if action.malformed:
+                    steps.append(PlanStep(
+                        kstate.round_no, action.tool, dict(action.args),
+                        False, f"invalid action: {action.error}",
+                        malformed=True))
+                elif action.tool == "finish":
+                    done = self._satisfied(ctx)
+                    note = (action.args.get("note")
+                            or ("goal satisfied" if done
+                                else "stopping without evidence"))
+                    steps.append(PlanStep(
+                        kstate.round_no, "finish", dict(action.args), done,
+                        f"finish: {note}", citations=action.citations,
+                        rationale=action.rationale))
+                    return "finish"
+                else:
+                    try:
+                        outcome = get_tool(action.tool).invoke(
+                            ctx, action.args)
+                        ok, obs = outcome.ok, outcome.observation
+                    except (ToolError, KeyError) as exc:
+                        ok, obs = False, f"invalid action: {exc}"
+                    steps.append(PlanStep(
+                        kstate.round_no, action.tool, dict(action.args),
+                        ok, obs, citations=action.citations,
+                        rationale=action.rationale))
+                    record.tool_evaluations += 1
+                # Charge this round's model spend so token budgets bind.
+                total = llm.usage.total_tokens
+                record.charge_tokens(total - charged["tokens"])
+                charged["tokens"] = total
+                return None
+
+            LoopKernel(step=step, record=record, budget=budget,
+                       max_rounds=max_steps, span_name=None).run()
+
+            success = self._satisfied(ctx)
+            run_span.set(success=success, steps=len(steps),
+                         tokens=llm.usage.total_tokens - tokens_before)
+        flush_metrics(tracer)
+        report = PlannerRunReport(
+            goal=goal, problem_id=record.problem_id, model=record.model,
+            state=state, success=success, steps=steps,
+            stop_reason=record.stop_reason,
+            total_tokens=llm.usage.total_tokens - tokens_before)
+        report.run_record = record
+        return report

@@ -85,6 +85,13 @@ class RtlGenerationStage(Stage):
             shown = state.lint_warnings[:8]
             feedback = ("static analysis of the previous attempt reported:\n"
                         + "\n".join(shown))
+        # Critic rejection verdicts (populated only when REPRO_CRITIC=1)
+        # ride along as repair context; with the critic off the list is
+        # empty and the prompt is byte-identical to the pre-critic path.
+        if ctx.enable_feedback and state.critic_verdicts:
+            rejected = "\n".join(state.critic_verdicts[:6])
+            feedback = (feedback + "\n" if feedback else "") \
+                + "the critic rejected the previous attempt:\n" + rejected
         outcome = chip.run(ctx.problem, initial_feedback=feedback)
         state.rtl_source = outcome.best_source
         state.module_name = ctx.problem.module_name
@@ -118,12 +125,15 @@ class StaticAnalysisStage(Stage):
             verdict = critic.review([state.rtl_source],
                                     ctx.problem.module_name)[0]
             if not verdict.ok:
+                # Rejection verdicts get their own channel (they thread
+                # into regeneration feedback and planner observations as
+                # critic context, not as lint findings) but still block.
                 extra = [str(f) for f in verdict.failures]
-                state.lint_warnings = warnings + extra
+                state.critic_verdicts.extend(extra)
                 blocking = blocking + extra
         state.record(self.name, not blocking,
-                     f"{len(state.lint_warnings)} warnings "
-                     f"({len(blocking)} blocking)")
+                     f"{len(state.lint_warnings) + len(state.critic_verdicts)}"
+                     f" warnings ({len(blocking)} blocking)")
         return not blocking
 
 

@@ -50,6 +50,10 @@ class DesignState:
     verification_detail: str = ""
     assertions_valid: int = 0
     lint_warnings: list[str] = field(default_factory=list)
+    # Critic rejection verdicts (taxonomy-labelled failure strings).  The
+    # planner folds these into observations, and the agent threads them —
+    # alongside lint warnings — into regeneration feedback on re-opens.
+    critic_verdicts: list[str] = field(default_factory=list)
 
     # Provenance.
     history: list[StageRecord] = field(default_factory=list)

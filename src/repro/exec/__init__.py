@@ -12,16 +12,17 @@ from .scheduler import SweepScheduler, sweep_map
 from .tasks import (agent_run_task, assertion_quality_task,
                     autochip_budget_task, chipchat_task, detect_trojan_task,
                     evaluate_candidate_task, exercise_module_task,
-                    guided_debug_task, hierarchical_task, run_testbench_task,
-                    structured_flow_task, testbench_quality_task,
-                    timed_out_testbench, vrank_cell_task)
+                    guided_debug_task, hierarchical_task, planner_task_cell,
+                    run_testbench_task, structured_flow_task,
+                    testbench_quality_task, timed_out_testbench,
+                    vrank_cell_task)
 
 __all__ = [
     "EvaluationTimeout", "JOBS_ENV", "ParallelEvaluator", "SweepScheduler",
     "agent_run_task", "assertion_quality_task", "autochip_budget_task",
     "chipchat_task", "detect_trojan_task", "evaluate_candidate_task",
     "exercise_module_task", "guided_debug_task", "hierarchical_task",
-    "parallel_map", "resolve_jobs", "run_testbench_task",
-    "structured_flow_task", "sweep_map", "testbench_quality_task",
-    "timed_out_testbench", "vrank_cell_task",
+    "parallel_map", "planner_task_cell", "resolve_jobs",
+    "run_testbench_task", "structured_flow_task", "sweep_map",
+    "testbench_quality_task", "timed_out_testbench", "vrank_cell_task",
 ]

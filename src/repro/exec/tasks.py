@@ -84,6 +84,14 @@ def agent_run_task(payload: tuple) -> Any:
     return agent.run(problem)
 
 
+def planner_task_cell(payload: tuple) -> Any:
+    """``(task_id, model, seed, max_steps) -> PlannerRunReport`` — one cell
+    of a planner task-suite pass@k grid."""
+    task_id, model, seed, max_steps = payload
+    from ..tasks import run_task
+    return run_task(task_id, model, seed=seed, max_steps=max_steps)
+
+
 def structured_flow_task(payload: tuple) -> Any:
     """``(problem, model, seed) -> StructuredFlowResult`` — one cell of a
     structured-feedback sweep."""

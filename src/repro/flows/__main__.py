@@ -50,6 +50,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--problems", default=None,
                         help="comma-separated problem ids "
                              "(default: every benchmark problem)")
+    parser.add_argument("--tasks", default=None,
+                        help="comma-separated task ids for the 'agent' "
+                             "task suite (default: every task)")
     parser.add_argument("--budget-tokens", type=int, default=None,
                         help="per-run token ceiling (engine Budget)")
     parser.add_argument("--budget-evals", type=int, default=None,
@@ -79,6 +82,15 @@ def main(argv: list[str] | None = None) -> int:
     else:
         problems = all_problems()
 
+    tasks: tuple = ()
+    if args.tasks:
+        from ..tasks import get_task
+        try:
+            tasks = tuple(get_task(tid.strip()).task_id
+                          for tid in args.tasks.split(",") if tid.strip())
+        except KeyError as exc:
+            return fail(exc.args[0])
+
     budget = None
     if (args.budget_tokens is not None or args.budget_evals is not None
             or args.deadline_s is not None):
@@ -95,14 +107,15 @@ def main(argv: list[str] | None = None) -> int:
         return fail(str(exc))
 
     request = RunRequest(problems=problems, model=args.model,
-                         seed=args.seed, jobs=args.jobs, budget=budget)
+                         seed=args.seed, jobs=args.jobs, budget=budget,
+                         tasks=tasks)
     if store is not None:
         journal = CampaignJournal(
             store, ("flow", spec.name) + request.fingerprint_parts(),
             resume=args.resume)
         request = RunRequest(problems=problems, model=args.model,
                              seed=args.seed, jobs=args.jobs, budget=budget,
-                             store=journal)
+                             store=journal, tasks=tasks)
     try:
         result = spec.launch(request)
     except ValueError as exc:

@@ -34,6 +34,7 @@ from .chipchat import TapeoutReport, run_chipchat_tapeout
 from .crosscheck import GuidedDebugSweep, guided_debug_sweep
 from .hierarchical import HierarchicalSweep, hierarchical_sweep
 from .security import detection_sweep
+from ..tasks import TaskSuiteResult, run_task_suite
 from .structured import StructuredSweep, run_structured_sweep
 from .vrank import VRankSweep, vrank_sweep
 
@@ -56,12 +57,15 @@ class RunRequest:
     jobs: int | str | None = None
     budget: Budget | None = None
     store: CampaignJournal | None = None
+    # Task-suite flows (the planner agent) select scenarios by id rather
+    # than by benchmark problem; empty means the whole suite.
+    tasks: tuple[str, ...] = ()
 
     def fingerprint_parts(self) -> tuple:
         """The launch coordinates that determine results (jobs excluded:
         worker count never changes a deterministic sweep's output)."""
         return (tuple(p.problem_id for p in self.problems),
-                str(self.model), self.seed, self.budget)
+                str(self.model), self.seed, self.budget, self.tasks)
 
 
 @dataclass(frozen=True)
@@ -201,6 +205,18 @@ _register(FlowSpec(
     summary="generated-testbench quality with self-correction",
     runner=lambda req: autobench_sweep(
         req.problems, req.model, seeds=(req.seed,), jobs=req.jobs),
+))
+
+_register(FlowSpec(
+    name="agent",
+    entry=run_task_suite,
+    result_type=TaskSuiteResult,
+    summary="planner agent task suite: plan/act/observe over the tool "
+            "registry, scored pass@k",
+    accepts_budget=True,
+    runner=lambda req: run_task_suite(
+        req.model, task_ids=req.tasks, seed=req.seed, budget=req.budget,
+        jobs=req.jobs),
 ))
 
 _register(FlowSpec(

@@ -7,7 +7,8 @@ the experiments measure.
 """
 
 from .chat import ChatSession, Message
-from .docqa import Answer, DocQa, EVAL_QUESTIONS, retrieval_accuracy
+from .docqa import (Answer, DocQa, EVAL_QUESTIONS, answer_faithfulness,
+                    retrieval_accuracy)
 from .faults import (ALL_FAULTS, FaultSpec, fault_by_id, faults_of_class,
                      INTERFACE_FAULTS, LOGIC_FAULTS, SYNTAX_FAULTS)
 from .model import (Generation, GenerationTask, SimulatedLLM, UsageStats,
@@ -23,7 +24,8 @@ from .tokenizer import (count_tokens, jaccard_similarity,
 
 __all__ = [
     "ALL_FAULTS", "AUTOCHIP_EVAL_MODELS", "Answer", "ChatSession",
-    "DocQa", "Document", "EVAL_QUESTIONS", "retrieval_accuracy",
+    "DocQa", "Document", "EVAL_QUESTIONS", "answer_faithfulness",
+    "retrieval_accuracy",
     "FaultSpec", "Generation", "GenerationTask", "INTERFACE_FAULTS",
     "LOGIC_FAULTS", "Message", "ModelProfile", "Prompt", "PromptEffects",
     "PromptStrategy", "Retrieval", "SYNTAX_FAULTS", "SimulatedLLM",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import get_metrics
+from .model import GenerationTask, _stable_seed
 from .rag import Document, Retrieval, VectorIndex
 
 # One entry per documented behaviour; doc_id doubles as the ground-truth
@@ -92,6 +94,10 @@ class Answer:
     question: str
     text: str
     sources: list[Retrieval] = field(default_factory=list)
+    # Model-synthesized answers only: True while the answer stayed faithful
+    # to the retrieved passage (no hallucination faults landed).
+    grounded: bool = True
+    model: str = ""
 
     @property
     def best_source_id(self) -> str:
@@ -99,26 +105,72 @@ class Answer:
 
 
 class DocQa:
-    """Retrieval-augmented QA over the tool documentation corpus."""
+    """Retrieval-augmented QA over the tool documentation corpus.
 
-    def __init__(self, extra_docs: list[Document] | None = None):
+    Extractive by default: the best passage *is* the answer.  Pass a
+    ``model`` (profile name, ``SimulatedLLM`` or any ``LLMClient``) to
+    synthesize the answer through the unified client seam instead — the
+    retrieved passage becomes the generation's reference text, so the
+    call batches on broker lanes under ``REPRO_SERVICE=1`` and its fault
+    ledger tells us whether the paraphrase stayed grounded.  Seeding runs
+    through ``_stable_seed`` (the question and the cited doc key the
+    generation), so answers are deterministic per (model, seed, question).
+    """
+
+    def __init__(self, extra_docs: list[Document] | None = None,
+                 model=None, *, seed: int = 0):
         self.index = VectorIndex()
         for doc_id, text in _CORPUS:
             self.index.add(Document(doc_id, text))
         for doc in extra_docs or []:
             self.index.add(doc)
+        self.llm = None
+        if model is not None:
+            from ..service import resolve_client
+            self.llm = resolve_client(model, seed=seed)
 
     def ask(self, question: str, top_k: int = 3) -> Answer:
+        get_metrics().counter("docqa.queries").add()
         hits = self.index.query(question, top_k=top_k)
         if not hits:
             return Answer(question, "No relevant documentation found.")
-        # Extractive answer: lead with the best passage, cite the rest.
         best = hits[0].document
+        if self.llm is not None:
+            return self._synthesize(question, best, hits)
+        # Extractive answer: lead with the best passage, cite the rest.
         text = best.text
         if len(hits) > 1:
             others = ", ".join(h.document.doc_id for h in hits[1:])
             text += f" (see also: {others})"
         return Answer(question, text, hits)
+
+    def _synthesize(self, question: str, best: Document,
+                    hits: list[Retrieval]) -> Answer:
+        """Answer through the model client, grounded in the best passage.
+
+        The stable task id folds the question and the cited doc, so the
+        same question always draws the same generation regardless of ask
+        order or service mode.  Questions are open-ended specs: a model
+        that misreads one answers from memory instead of the passage —
+        the hallucination failure mode RAG is meant to suppress, and what
+        ``grounded`` reports (prose dodges the code-idiom fault patterns,
+        so misinterpretation is the binding risk here).
+        """
+        task = GenerationTask(
+            task_id=f"docqa:{_stable_seed(question, best.doc_id)}",
+            spec=question, reference_source=best.text, complexity=1,
+            language="text", open_ended=True)
+        generation = self.llm.generate(task, temperature=0.0)
+        text = "\n".join(line for line in generation.text.splitlines()
+                         if not line.startswith("//")).strip()
+        if len(hits) > 1:
+            others = ", ".join(h.document.doc_id for h in hits[1:])
+            text += f" (see also: {others})"
+        text += f" [source: {best.doc_id}]"
+        return Answer(question, text, hits,
+                      grounded=not generation.misinterpreted
+                      and not generation.faults,
+                      model=self.llm.profile.name)
 
 
 # Labeled evaluation set: (question, expected doc_id).
@@ -151,3 +203,16 @@ def retrieval_accuracy(qa: DocQa | None = None, top_k: int = 1) -> float:
         if expected in retrieved:
             hits += 1
     return hits / len(EVAL_QUESTIONS)
+
+
+def answer_faithfulness(model="gpt-4o", *, seed: int = 0) -> float:
+    """End-to-end RAG quality: fraction of labeled questions where the
+    model-synthesized answer both cites the expected document and stays
+    grounded in its passage (no hallucination fault landed)."""
+    qa = DocQa(model=model, seed=seed)
+    good = 0
+    for question, expected in EVAL_QUESTIONS:
+        answer = qa.ask(question)
+        if answer.grounded and answer.best_source_id == expected:
+            good += 1
+    return good / len(EVAL_QUESTIONS)

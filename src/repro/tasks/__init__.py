@@ -1,0 +1,17 @@
+"""``repro.tasks`` — seeded multi-step scenarios for the planner agent.
+
+The agent half of the paper is about decomposing requests like
+"synthesize this, report PPA, fix the slowest path" into tool sequences;
+this package holds those requests as a benchmarkable suite: each
+:class:`TaskSpec` pairs a natural-language goal with a success predicate
+over the final tool context, and :func:`run_task_suite` scores pass@k
+through the journaled sweep scheduler (``BENCH_agent.json``).
+"""
+
+from .suite import (TASKS, TaskScore, TaskSpec, TaskSuiteResult, get_task,
+                    run_task, run_task_suite)
+
+__all__ = [
+    "TASKS", "TaskScore", "TaskSpec", "TaskSuiteResult", "get_task",
+    "run_task", "run_task_suite",
+]

@@ -1,0 +1,31 @@
+"""``repro.tools`` — the typed tool registry behind the planner agent.
+
+The agent half of the paper (and ChatEDA in PAPERS.md) frames EDA
+automation as an LLM planner invoking *tools*: compile, simulate, lint,
+synthesize, report PPA, repair, consult documentation.  This package is
+that tool surface for the reproduction:
+
+* :mod:`repro.tools.spec` — :class:`ToolSpec`: frozen typed signatures
+  (name, arg schema, result schema, cost hints) generalizing
+  :class:`repro.flows.registry.FlowSpec` down to single capabilities,
+  plus the registry and the invoke seam (validation, spans, counters);
+* :mod:`repro.tools.catalog` — the built-in tools, each wrapping an
+  existing subsystem (hdl, synth, hls, critic, flows, llm.docqa);
+* :mod:`repro.tools.grounding` — the RAG index over tool documentation
+  that grounds the planner's next-action shortlist with citations.
+
+Importing the package registers the catalogue.
+"""
+
+from __future__ import annotations
+
+from . import catalog as _catalog  # noqa: F401  (registers the built-ins)
+from .grounding import GroundedTool, ToolIndex, build_tool_index
+from .spec import (ToolArg, ToolContext, ToolCost, ToolError, ToolOutcome,
+                   ToolSpec, get_tool, list_tools, register_tool)
+
+__all__ = [
+    "GroundedTool", "ToolArg", "ToolContext", "ToolCost", "ToolError",
+    "ToolIndex", "ToolOutcome", "ToolSpec", "build_tool_index", "get_tool",
+    "list_tools", "register_tool",
+]

@@ -1,0 +1,83 @@
+"""RAG grounding for the planner: retrieve tool docs before choosing.
+
+Every registered :class:`~repro.tools.spec.ToolSpec` carries a ``doc``
+passage; this module indexes those passages (plus the problem spec) in
+the TF-IDF :class:`~repro.llm.rag.VectorIndex` so the planner's shortlist
+is grounded in retrieval — each planned step cites the tool documents it
+retrieved, the same discipline the HLS repair loop already applies to its
+correction templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..llm.rag import Document, VectorIndex
+from ..obs import get_metrics
+from .spec import ToolSpec, list_tools
+
+
+@dataclass(frozen=True)
+class GroundedTool:
+    """One retrieval-ranked tool candidate with its citations."""
+
+    tool: str
+    score: float
+    citations: tuple[str, ...] = ()
+
+
+@dataclass
+class ToolIndex:
+    """Retrieval index over tool documentation and the problem spec.
+
+    ``rank(query)`` returns every registered tool ordered by retrieval
+    relevance to the query; spec documents never rank (they only ground —
+    a retrieved ``spec:*`` citation tells the reader *why* the plan
+    matched, but the planner can only act through tools).
+    """
+
+    index: VectorIndex = field(default_factory=VectorIndex)
+    tools: dict[str, ToolSpec] = field(default_factory=dict)
+
+    def add_spec_document(self, doc_id: str, text: str) -> None:
+        """Ground planning in the problem's own text (spec modality)."""
+        self.index.add(Document(f"spec:{doc_id}", text))
+
+    def rank(self, query: str, top_k: int = 0) -> list[GroundedTool]:
+        """Tools by descending retrieval relevance; unmatched tools last.
+
+        Ties (including score 0.0) break on tool name, so ranking is a
+        pure function of (index contents, query).
+        """
+        get_metrics().counter("tools.rag_queries").add()
+        hits = self.index.query(query, top_k=len(self.index) or 1)
+        scores: dict[str, float] = {}
+        spec_hits: list[str] = []
+        for hit in hits:
+            if hit.document.doc_id.startswith("spec:"):
+                spec_hits.append(hit.document.doc_id)
+            elif hit.document.doc_id.startswith("tool:"):
+                scores[hit.document.doc_id[len("tool:"):]] = hit.score
+        citations = tuple(spec_hits[:2])
+        ranked = [GroundedTool(name, scores.get(name, 0.0),
+                               citations=((f"tool:{name}",) + citations
+                                          if name in scores else citations))
+                  for name in sorted(self.tools)]
+        ranked.sort(key=lambda g: (-g.score, g.tool))
+        return ranked[:top_k] if top_k else ranked
+
+    def passage(self, tool: str) -> str:
+        return self.tools[tool].doc
+
+
+def build_tool_index(specs: list[ToolSpec] | None = None,
+                     spec_text: str = "") -> ToolIndex:
+    """Index every registered tool's doc passage (and the problem spec)."""
+    ti = ToolIndex()
+    for spec in (specs if specs is not None else list_tools()):
+        ti.tools[spec.name] = spec
+        ti.index.add(Document(f"tool:{spec.name}",
+                              f"{spec.name} {spec.summary} {spec.doc}"))
+    if spec_text:
+        ti.add_spec_document("problem", spec_text)
+    return ti

@@ -264,6 +264,24 @@ def test_golden_critic_off_replay(name, monkeypatch):
     assert got == want
 
 
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_planner_off_replay(name, monkeypatch):
+    """Explicit ``REPRO_AGENT_PLANNER=0`` replays every fixture byte-identical.
+
+    The planner's byte-identity acceptance gate: with the knob off
+    (explicitly, not just unset) ``EdaAgent.run`` takes exactly the fixed
+    ``DEFAULT_PIPELINE`` path and no other flow reads the knob at all.
+    """
+    if REGEN:
+        pytest.skip("fixtures regenerate from the direct path only")
+    path = _fixture_path(name)
+    assert path.exists()
+    monkeypatch.setenv("REPRO_AGENT_PLANNER", "0")
+    want = json.loads(path.read_text())
+    got = _run_mode(name, "direct", monkeypatch)
+    assert got == want
+
+
 def test_critic_annotates_without_changing_selection(monkeypatch):
     """All-accepted reviews: public result identical, record annotated.
 

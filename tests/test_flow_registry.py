@@ -17,7 +17,7 @@ class TestRegistry:
         names = {spec.name for spec in list_flows()}
         assert names == {"autochip", "structured", "vrank", "chipchat",
                          "crosscheck", "hierarchical", "assertgen",
-                         "autobench", "security"}
+                         "autobench", "security", "agent"}
 
     def test_unknown_flow_lists_known_names(self):
         with pytest.raises(KeyError, match="known flows.*vrank"):

@@ -1,6 +1,7 @@
 """Tests for the EDA tool-documentation QA flow."""
 
-from repro.llm import Document, DocQa, EVAL_QUESTIONS, retrieval_accuracy
+from repro.llm import (Document, DocQa, EVAL_QUESTIONS,
+                       answer_faithfulness, retrieval_accuracy)
 
 
 class TestDocQa:
@@ -43,3 +44,45 @@ class TestDocQa:
         known = {doc.doc_id for doc in qa.index.documents}
         for _, expected in EVAL_QUESTIONS:
             assert expected in known
+
+
+class TestModelSynthesizedAnswers:
+    """The LLM-backed answer path: resolve_client seam + stable seeding."""
+
+    def test_deterministic_across_instances(self):
+        question = "can I use malloc in a kernel for synthesis"
+        first = DocQa(model="gpt-4o", seed=0).ask(question)
+        second = DocQa(model="gpt-4o", seed=0).ask(question)
+        assert first.text == second.text
+        assert first.grounded == second.grounded
+
+    def test_service_mode_is_byte_identical(self, monkeypatch):
+        question = "my while loop fails HLS with no trip count"
+        monkeypatch.delenv("REPRO_SERVICE", raising=False)
+        direct = DocQa(model="gpt-4", seed=1).ask(question)
+        monkeypatch.setenv("REPRO_SERVICE", "1")
+        brokered = DocQa(model="gpt-4", seed=1).ask(question)
+        assert brokered.text == direct.text
+        assert brokered.grounded == direct.grounded
+
+    def test_answer_carries_model_and_citation(self):
+        answer = DocQa(model="gpt-4o", seed=0).ask(
+            "what does latch inferred mean in a combinational block")
+        assert answer.model == "gpt-4o"
+        assert f"[source: {answer.best_source_id}]" in answer.text
+
+    def test_extractive_path_unchanged_without_model(self):
+        answer = DocQa().ask("what does latch inferred mean")
+        assert answer.model == ""
+        assert answer.grounded
+        assert "[source:" not in answer.text
+
+    def test_faithfulness_bounded_by_retrieval(self):
+        ceiling = retrieval_accuracy(top_k=1)
+        for model in ("gpt-4", "dave-gpt2"):
+            score = answer_faithfulness(model, seed=0)
+            assert 0.0 <= score <= ceiling
+
+    def test_faithfulness_separates_model_strength(self):
+        assert answer_faithfulness("gpt-4", seed=0) \
+            > answer_faithfulness("dave-gpt2", seed=0)
